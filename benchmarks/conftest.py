@@ -1,0 +1,51 @@
+"""Benchmark fixtures: results directory and shared artifacts.
+
+Every benchmark regenerates one of the paper's tables/figures, writes
+the rendered text to ``results/`` and asserts the reproduction's shape
+targets.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The first run builds and disk-caches the heavyweight artifacts
+(sweeps, fitted models); later runs reuse them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    path = Path(__file__).resolve().parents[1] / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def save(results_dir):
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A reduced training dataset for model micro-benchmarks."""
+    from repro.core.database import build_database
+    from repro.core.stp import build_training_dataset
+    from repro.utils.units import GB
+    from repro.workloads.base import AppInstance
+    from repro.workloads.registry import get_app
+
+    instances = [
+        AppInstance(get_app(code), size)
+        for code in ("wc", "st", "ts", "fp")
+        for size in (1 * GB, 5 * GB)
+    ]
+    _db, sweeps = build_database(instances, keep_sweeps=True)
+    return build_training_dataset(instances, sweeps=sweeps, rows_per_pair=200, seed=0)

@@ -1,0 +1,214 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation removes one ingredient of the pipeline and measures the
+cost, substantiating the paper's architectural claims:
+
+* **decoupling** (§5): ECoST separates the co-locate decision from the
+  tune decision; the combined oracle (UB) quantifies what the
+  decoupling gives up.
+* **pairing priority** (Fig. 4/5): replace the I > H > C > M decision
+  tree with plain FIFO pairing.
+* **size-aware lookup**: the LkT variant that keys on sizes as well as
+  classes (strictly more flexible than the paper's minimum-EDP scan).
+* **beyond-2 co-location** (§4.2): the paper found 4-way co-location
+  degrades energy efficiency; we reproduce the comparison.
+"""
+
+import numpy as np
+
+from repro.baselines.mapping import evaluate_policy
+from repro.core.pairing import PairingPolicy
+from repro.core.stp import LkTSTP, describe_instance
+from repro.experiments.artifacts import (
+    get_components,
+    get_database_and_sweep_labels,
+)
+from repro.experiments.scenarios import scenario_instances
+from repro.model.costmodel import pair_metrics, serial_pair_edp, standalone_metrics
+from repro.model.costmodel import colocation_context, fluid_stretch
+from repro.model.sweep import sweep_pair
+from repro.utils.tables import render_table
+from repro.utils.units import GB, GHZ, MB
+from repro.workloads.base import AppClass, AppInstance
+from repro.workloads.registry import TESTING_APPS, instances_for, get_app
+
+
+def test_ablation_pairing_priority(benchmark, save):
+    """FIFO pairing vs the class-priority decision tree on WS8."""
+
+    def run():
+        comp = get_components("mlp")
+        workload = scenario_instances("WS8")
+        with_tree = evaluate_policy("ECoST", workload, 8, components=comp)
+        # Neutralise the decision tree: every class equal priority ->
+        # the queue degenerates to FIFO pairing.
+        flat = PairingPolicy(priority={c: 0 for c in AppClass})
+        from repro.core.controller import ECoSTController
+        from repro.mapreduce.engine import ClusterEngine
+
+        cluster = ClusterEngine(8)
+        ctrl = ECoSTController(
+            cluster, comp.pair_stp, comp.classifier, pairing=flat
+        )
+        for inst in workload:
+            ctrl.submit(inst)
+        ctrl.run()
+        return with_tree.edp, cluster.edp()
+
+    tree_edp, fifo_edp = benchmark.pedantic(run, rounds=1, iterations=1)
+    save(
+        "ablation_pairing",
+        render_table(
+            ["pairing", "EDP (J*s)"],
+            [["class-priority tree", tree_edp], ["FIFO", fifo_edp]],
+            title="Ablation — pairing decision tree vs FIFO (WS8, 8 nodes)",
+            floatfmt=".3e",
+        ),
+    )
+    # The decision tree never hurts and typically helps on mixed
+    # workloads (WS8 has M, H, C and I classes).
+    assert tree_edp <= fifo_edp * 1.05
+
+
+def test_ablation_lkt_size_awareness(benchmark, save):
+    """Paper-literal LkT vs the size-aware lookup variant."""
+
+    def run():
+        db = get_database_and_sweep_labels()
+        paper = LkTSTP(db)
+        aware = LkTSTP(db, size_aware=True)
+        errors = {"paper": [], "size-aware": []}
+        testing = instances_for(TESTING_APPS, sizes=(1 * GB, 10 * GB))
+        from itertools import combinations
+
+        for a, b in combinations(testing, 2):
+            sweep = sweep_pair(a, b)
+            da, db_ = describe_instance(a), describe_instance(b)
+            for name, stp in (("paper", paper), ("size-aware", aware)):
+                ca, cb = stp.predict_configs(da, db_)
+                pm = pair_metrics(
+                    a.profile, a.data_bytes, ca.frequency, ca.block_size, ca.n_mappers,
+                    b.profile, b.data_bytes, cb.frequency, cb.block_size, cb.n_mappers,
+                )
+                errors[name].append(
+                    (float(pm.edp) - sweep.best_edp) / sweep.best_edp * 100
+                )
+        return {k: float(np.mean(v)) for k, v in errors.items()}
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    save(
+        "ablation_lkt",
+        render_table(
+            ["LkT variant", "mean err % vs COLAO"],
+            [[k, v] for k, v in means.items()],
+            title="Ablation — lookup-table size awareness",
+            floatfmt=".2f",
+        ),
+    )
+    # Size-aware lookup dominates the paper's minimum-EDP scan — the
+    # inflexibility §7.2 describes is real and fixable.
+    assert means["size-aware"] <= means["paper"]
+
+
+def test_ablation_colocation_degree(benchmark, save):
+    """2-way co-location helps; 4-way degrades (paper §4.2).
+
+    A mixed four-application set (I, C, H, M) is processed three ways:
+    serially with each app tuned alone (ILAO), as two oracle-tuned
+    co-located pairs, and as a 4-way co-location (two cores each,
+    per-app knobs carried over from the pair oracle).  The paper's
+    finding: two co-residents is the sweet spot; "co-locating beyond 2
+    applications at a node level degrades energy efficiency".
+    """
+
+    def run():
+        from repro.baselines.colao import colao_best
+        from repro.baselines.ilao import ilao_best
+        from repro.hardware.node import ATOM_C2758
+
+        insts = [AppInstance(get_app(c), 5 * GB) for c in ("st", "wc", "ts", "fp")]
+        solos = [ilao_best(i) for i in insts]
+        t_serial = sum(s.duration for s in solos)
+        e_serial = sum(s.energy for s in solos)
+
+        pair_ab = colao_best(insts[0], insts[1])
+        pair_cd = colao_best(insts[2], insts[3])
+        t_pairs = pair_ab.makespan + pair_cd.makespan
+        e_pairs = pair_ab.energy + pair_cd.energy
+
+        cfgs = [pair_ab.config_a, pair_ab.config_b, pair_cd.config_a, pair_cd.config_b]
+        ctx = colocation_context([i.profile for i in insts], [2.0] * 4)
+        jobs = [
+            standalone_metrics(
+                insts[i].profile, insts[i].data_bytes,
+                cfgs[i].frequency, cfgs[i].block_size, 2,
+                mpki_scale=float(ctx.mpki_scale[i]),
+                disk_traffic_scale=float(ctx.disk_traffic_scale[i]),
+                extra_streams=float(ctx.extra_streams[i]),
+            )
+            for i in range(4)
+        ]
+        stretch = fluid_stretch(jobs)
+        t_four = max(float(j.duration) for j in jobs) * stretch
+        pm = ATOM_C2758.power
+        p_four = pm.idle_power + sum(float(j.core_power) for j in jobs) / stretch
+        e_four = p_four * t_four
+        return [
+            ("serial (ILAO)", t_serial, e_serial * t_serial),
+            ("2 co-located (COLAO pairs)", t_pairs, e_pairs * t_pairs),
+            ("4 co-located", t_four, e_four * t_four),
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save(
+        "ablation_degree",
+        render_table(
+            ["strategy", "makespan (s)", "EDP (J*s)"],
+            [list(r) for r in rows],
+            title="Ablation — co-location degree (st/wc/ts/fp @5GB)",
+            floatfmt=".3e",
+        ),
+    )
+    edp = {name: e for name, _t, e in rows}
+    # Pairing wins over serial; 4-way gives the win back and more.
+    assert edp["2 co-located (COLAO pairs)"] < edp["serial (ILAO)"]
+    assert edp["4 co-located"] > edp["2 co-located (COLAO pairs)"]
+
+
+def test_ablation_stp_model_kind(benchmark, save):
+    """Which learned model should drive ECoST online? (§7.2 revisited.)
+
+    The paper recommends REPTree for its accuracy/overhead trade-off;
+    at cluster level the makespan amplifies the prediction-error tail,
+    so the MLP's smaller tail pays off.  This ablation runs the full
+    ECoST policy with each backend on two mixed scenarios.
+    """
+
+    def run():
+        rows = []
+        for kind in ("reptree", "mlp"):
+            comp = get_components(kind)
+            for ws in ("WS4", "WS8"):
+                workload = scenario_instances(ws)
+                ub = evaluate_policy("UB", workload, 8, components=comp).edp
+                out = evaluate_policy("ECoST", workload, 8, components=comp)
+                rows.append([kind, ws, out.edp / ub])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save(
+        "ablation_model_kind",
+        render_table(
+            ["STP backend", "workload", "EDP / UB"],
+            rows,
+            title="Ablation — ECoST's self-tuning backend (8 nodes)",
+            floatfmt=".3f",
+        ),
+    )
+    by_kind = {}
+    for kind, _ws, ratio in rows:
+        by_kind.setdefault(kind, []).append(ratio)
+    # Both backends stay within the Fig. 9 band; the MLP's smaller
+    # error tail keeps it at least competitive.
+    assert np.mean(by_kind["mlp"]) <= np.mean(by_kind["reptree"]) + 0.05
+    assert max(max(v) for v in by_kind.values()) < 1.6

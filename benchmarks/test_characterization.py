@@ -1,0 +1,42 @@
+"""§3 characterisation benchmark: class signatures of all 11 apps.
+
+Extension artefact (the paper's §3 is narrative + Fig. 1): one table
+with each application's tuned solo execution, resource utilisations
+and counters, asserting every class's published signature.
+"""
+
+from repro.experiments.characterization import run_characterization
+
+
+def test_characterization(benchmark, save):
+    report = benchmark.pedantic(run_characterization, rounds=1, iterations=1)
+    save("characterization", report.render())
+
+    by_class = report.by_class()
+    assert set(by_class) == {"C", "H", "I", "M"}
+
+    # Compute-bound: CPU saturated, little I/O wait.
+    for row in by_class["C"]:
+        assert row.cpu_user_pct > 75.0
+        assert row.cpu_iowait_pct < 10.0
+
+    # I/O-bound: heavy iowait, low IPC pressure on the core.
+    for row in by_class["I"]:
+        assert row.cpu_iowait_pct > 30.0
+        assert row.disk_util > 0.5
+
+    # Memory-bound: pathological LLC misses, saturating DRAM, and the
+    # longest runtimes in the study.
+    m_runtimes = [row.runtime_s for row in by_class["M"]]
+    others = [
+        row.runtime_s for cls, rows in by_class.items() if cls != "M" for row in rows
+    ]
+    for row in by_class["M"]:
+        assert row.llc_mpki > 4.0
+        assert row.mem_util > 0.5
+    assert min(m_runtimes) > 0.9 * max(others)
+
+    # Every tuned config prefers a non-minimal frequency (EDP weights
+    # delay twice, §2.6).
+    for row in report.rows:
+        assert "1.2GHz" not in row.tuned_config

@@ -1,0 +1,30 @@
+"""FIG3 benchmark: COLAO vs ILAO over the training pairs.
+
+Paper reference: Figure 3 — COLAO outperforms ILAO in almost all cases
+(up to 4.52x, on an I-I pair); the gap narrows when memory-bound
+applications are involved.
+"""
+
+from repro.experiments.fig3_colao_ilao import run_fig3
+from repro.utils.units import GB
+
+
+def _run_sizes():
+    return {gb: run_fig3(data_bytes=gb * GB) for gb in (5, 10)}
+
+
+def test_fig3_colao_ilao(benchmark, save):
+    reports = benchmark.pedantic(_run_sizes, rounds=1, iterations=1)
+    save("fig3_colao_ilao", "\n\n".join(r.render() for r in reports.values()))
+
+    for report in reports.values():
+        # Co-location wins nearly everywhere...
+        ratios = [p.ratio for p in report.pairs]
+        assert sum(r >= 0.95 for r in ratios) / len(ratios) >= 0.8
+        # ...with the largest gain on the I-I pair...
+        assert report.max_ratio.class_pair == "I-I"
+        # ...by a solid factor (paper: 4.52x; simulated substrate: >1.8x).
+        assert report.max_ratio.ratio > 1.8
+        # ...and M-involved pairs close the gap.
+        by_class = report.ratios_by_class()
+        assert max(v for k, v in by_class.items() if "M" in k) < by_class["I-I"]

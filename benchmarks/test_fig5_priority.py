@@ -1,0 +1,23 @@
+"""FIG5 benchmark: class-pair ranking and the derived decision tree.
+
+Paper reference: Figure 5 — I-I achieves the lowest EDP over all core
+partitionings; M-X pairs the highest; the scheduler's priority is
+derived as I > H/C > M.
+"""
+
+from repro.experiments.fig5_priority import run_fig5
+from repro.workloads.base import AppClass
+
+
+def test_fig5_priority(benchmark, save):
+    report = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
+    save("fig5_priority", report.render())
+
+    ranking = [name for name, _ in report.ranking()]
+    assert ranking[0] == "I-I"
+    assert set(ranking[-4:]) == {"I-M", "H-M", "C-M", "M-M"}
+
+    p = report.priority
+    assert p[AppClass.IO] > p[AppClass.HYBRID]
+    assert p[AppClass.HYBRID] >= p[AppClass.COMPUTE]
+    assert p[AppClass.COMPUTE] > p[AppClass.MEMORY]

@@ -1,0 +1,96 @@
+"""Performance micro-benchmarks of the reproduction's hot paths.
+
+These are classic pytest-benchmark timings (multiple rounds) of the
+kernels everything else is built on: the vectorised sweep, the
+discrete-event engine, the functional runtime and the learned models.
+They guard against performance regressions — the whole point of the
+closed-form/NumPy design is that an 84,480-run measurement campaign
+replays in seconds.
+"""
+
+import numpy as np
+
+from repro.mapreduce.engine import ClusterEngine, NodeEngine
+from repro.mapreduce.functional import MapReduceRuntime
+from repro.mapreduce.job import JobSpec
+from repro.model.config import JobConfig
+from repro.model.costmodel import pair_metrics
+from repro.model.sweep import sweep_pair, sweep_solo
+from repro.utils.units import GB, GHZ, MB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import get_app
+
+
+def test_bench_solo_sweep(benchmark):
+    """160-configuration exhaustive sweep of one application."""
+    inst = AppInstance(get_app("ts"), 5 * GB)
+    result = benchmark(sweep_solo, inst)
+    assert len(result.edp) == 160
+
+
+def test_bench_pair_sweep(benchmark):
+    """2,800-configuration co-location sweep (the COLAO oracle)."""
+    a = AppInstance(get_app("st"), 5 * GB)
+    b = AppInstance(get_app("fp"), 5 * GB)
+    result = benchmark(sweep_pair, a, b)
+    assert len(result.edp) == 2800
+
+
+def test_bench_pair_metrics_vectorised(benchmark):
+    """Raw cost-kernel throughput on a 10k-point grid."""
+    rng = np.random.default_rng(0)
+    n = 10_000
+    freqs = rng.choice([1.2e9, 1.6e9, 2.0e9, 2.4e9], size=n)
+    blocks = rng.choice([64, 128, 256, 512, 1024], size=n) * MB
+    m1 = rng.integers(1, 8, size=n).astype(float)
+    m2 = 8.0 - m1
+    a, b = get_app("st").profile, get_app("wc").profile
+
+    def run():
+        return pair_metrics(a, 5 * GB, freqs, blocks, m1, b, 5 * GB, freqs, blocks, m2)
+
+    result = benchmark(run)
+    assert result.edp.shape == (n,)
+
+
+def test_bench_des_cluster(benchmark):
+    """Discrete-event simulation of 16 jobs on 8 nodes."""
+
+    def run():
+        cluster = ClusterEngine(n_nodes=8)
+        for i in range(16):
+            code = ("st", "wc", "ts", "gp")[i % 4]
+            cluster.submit(
+                JobSpec(
+                    instance=AppInstance(get_app(code), 5 * GB),
+                    config=JobConfig(
+                        frequency=2.4 * GHZ, block_size=256 * MB, n_mappers=4
+                    ),
+                )
+            )
+        cluster.run()
+        return cluster
+
+    cluster = benchmark(run)
+    assert len(cluster.results) == 16
+
+
+def test_bench_functional_wordcount(benchmark):
+    """Functional runtime throughput on 2,000 records."""
+    app = get_app("wc")
+    runtime = MapReduceRuntime(n_reducers=4, split_records=250)
+    records = list(app.generate_records(2000, seed=0))
+    output = benchmark(runtime.run, app, records)
+    assert output.n_input_records == 2000
+
+
+def test_bench_reptree_predict(benchmark, small_dataset):
+    """Tree inference over a full pair configuration grid."""
+    import numpy as np
+
+    from repro.ml.reptree import REPTree
+
+    tree = REPTree(seed=0).fit(small_dataset.X, np.log(small_dataset.y))
+    grid = small_dataset.X[:2800]
+    out = benchmark(tree.predict, grid)
+    assert out.shape == (2800,)

@@ -1,0 +1,31 @@
+"""TAB1 benchmark: APE of the learned EDP models.
+
+Paper reference: Table 1 — average APE of LR ≈ 55.2%, REPTree ≈ 4.38%,
+MLP ≈ 0.77%.  The reproduced shape is the steep accuracy ordering
+LR ≫ REPTree > MLP (absolute percentages depend on the substrate).
+"""
+
+from repro.experiments.table1_ape import run_table1
+
+
+def test_table1_ape(benchmark, save):
+    report = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    save("table1_ape", report.render())
+
+    avg = report.averages()
+    # Ordering: linear regression is by far the worst; the non-linear
+    # models are an order of magnitude better.  (The paper has MLP
+    # strictly below REPTree — 0.77% vs 4.38%; on our sharper discrete
+    # simulated surface they converge to parity, see EXPERIMENTS.md.)
+    assert avg["lr"] > 10 * avg["reptree"]
+    assert avg["lr"] > 10 * avg["mlp"]
+    assert avg["mlp"] < 1.5 * avg["reptree"]
+    # Absolute bands: LR tens-to-hundreds of percent, the others
+    # single digits.
+    assert avg["lr"] > 25.0
+    assert avg["reptree"] < 10.0
+    assert avg["mlp"] < 10.0
+
+    # Every class pair individually preserves LR >> MLP.
+    for row in report.ape.values():
+        assert row["lr"] > row["mlp"]

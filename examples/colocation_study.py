@@ -1,0 +1,59 @@
+"""Co-location study: why sharing a node beats running serially.
+
+Reproduces the paper's §4.2 motivation at example scale: two I/O-bound
+Sort jobs, each exhaustively tuned, are run (a) serially (ILAO) and
+(b) co-located with jointly tuned knobs (COLAO).  The co-located pair
+overlaps the idle gaps the framework leaves on every resource, so the
+makespan nearly halves while power barely rises — a multiplicative EDP
+win.  A memory-bound pair is shown as the counter-example.
+
+Run:  python examples/colocation_study.py
+"""
+
+from repro.baselines.colao import colao_best
+from repro.baselines.ilao import ilao_best, ilao_pair_edp
+from repro.utils.tables import render_table
+from repro.utils.units import GB, fmt_duration
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import get_app
+
+
+def study(code_a: str, code_b: str, gb: int = 5) -> list:
+    a = AppInstance(get_app(code_a), gb * GB)
+    b = AppInstance(get_app(code_b), gb * GB)
+    solo_a, solo_b = ilao_best(a), ilao_best(b)
+    serial_time = solo_a.duration + solo_b.duration
+    serial_edp = ilao_pair_edp(solo_a, solo_b)
+    co = colao_best(a, b)
+    return [
+        f"{a.label}+{b.label}",
+        f"{a.app_class}-{b.app_class}",
+        fmt_duration(serial_time),
+        fmt_duration(co.makespan),
+        f"{co.config_a.label} | {co.config_b.label}",
+        serial_edp / co.edp,
+    ]
+
+
+def main() -> None:
+    rows = [
+        study("st", "st"),   # I-I: the paper's best case
+        study("st", "wc"),   # I-C
+        study("wc", "wc"),   # C-C: cores contended, little to gain
+        study("fp", "fp"),   # M-M: the paper's worst case
+    ]
+    print(render_table(
+        ["pair", "classes", "serial time", "co-located time",
+         "co-located tuned configs", "EDP gain (x)"],
+        rows,
+        title="ILAO (serial, tuned alone) vs COLAO (co-located, jointly tuned)",
+        floatfmt=".2f",
+    ))
+    print("\nI/O-bound pairs overlap their idle resources -> biggest win;")
+    print("memory-bound pairs fight over cores, cache and DRAM -> no win.")
+    print("This asymmetry is exactly what ECoST's pairing decision tree")
+    print("exploits (priority I > H > C > M, paper Fig. 5).")
+
+
+if __name__ == "__main__":
+    main()

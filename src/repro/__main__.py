@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the available experiments (paper tables/figures).
+``run FIG5 SEC7 ...``
+    Run experiments and print their rendered tables/series (``run``
+    with no ids runs everything — minutes of compute).
+``policies [--nodes N] [--scenario WSx]``
+    Evaluate the §8 mapping policies on one workload scenario.
+``classify CODE [SIZE_GB]``
+    Profile and classify one application, printing its features.
+``clear-cache``
+    Drop the disk-cached artifacts (forces full rebuilds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.experiments.reporting import available_experiments
+
+    for exp_id, desc in available_experiments().items():
+        print(f"{exp_id:6} {desc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.reporting import run_experiments
+
+    print(run_experiments(args.ids or None))
+    return 0
+
+
+def _cmd_policies(args) -> int:
+    from repro.baselines.mapping import POLICIES, evaluate_policy
+    from repro.experiments.artifacts import get_components
+    from repro.experiments.scenarios import scenario_instances
+    from repro.utils.tables import render_table
+
+    components = get_components(args.model)
+    workload = scenario_instances(args.scenario)
+    rows = []
+    outcomes = {}
+    for policy in POLICIES:
+        out = evaluate_policy(policy, workload, args.nodes, components=components)
+        outcomes[policy] = out
+        rows.append([policy, out.makespan, out.energy, out.edp])
+    ub = outcomes["UB"].edp
+    for row, policy in zip(rows, POLICIES):
+        row.append(outcomes[policy].edp / ub)
+    print(render_table(
+        ["policy", "makespan (s)", "energy (J)", "EDP (J*s)", "vs UB"],
+        rows,
+        title=f"{args.scenario} on {args.nodes} node(s)",
+        floatfmt=".3g",
+    ))
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    from repro.analysis.features import PROFILING_CONFIG
+    from repro.experiments.artifacts import get_classifier
+    from repro.telemetry.profiling import FEATURE_NAMES, profile_features
+    from repro.utils.tables import render_table
+    from repro.utils.units import GB
+    from repro.workloads.base import AppInstance
+    from repro.workloads.registry import get_app
+
+    inst = AppInstance(get_app(args.code), args.size_gb * GB)
+    feats = profile_features(inst, PROFILING_CONFIG, seed=0)
+    print(render_table(
+        ["feature", "value"],
+        [[n, feats[n]] for n in FEATURE_NAMES],
+        title=f"Learning-period profile of {inst.label}",
+        floatfmt=".2f",
+    ))
+    print(f"\nclassified as: {get_classifier().classify(feats)}")
+    return 0
+
+
+def _cmd_clear_cache(_args) -> int:
+    from repro.experiments.artifacts import clear_cache
+
+    print(f"removed {clear_cache()} cached artifact(s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ECoST reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(
+        fn=_cmd_list
+    )
+
+    p_run = sub.add_parser("run", help="run experiments and print reports")
+    p_run.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_pol = sub.add_parser("policies", help="evaluate the mapping policies")
+    p_pol.add_argument("--nodes", type=int, default=8)
+    p_pol.add_argument("--scenario", default="WS4")
+    p_pol.add_argument("--model", default="mlp", choices=["lr", "reptree", "mlp"])
+    p_pol.set_defaults(fn=_cmd_policies)
+
+    p_cls = sub.add_parser("classify", help="profile + classify an application")
+    p_cls.add_argument("code", help="application code, e.g. km")
+    p_cls.add_argument("size_gb", type=int, nargs="?", default=5)
+    p_cls.set_defaults(fn=_cmd_classify)
+
+    sub.add_parser("clear-cache", help="drop cached artifacts").set_defaults(
+        fn=_cmd_clear_cache
+    )
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (KeyError, ValueError) as exc:
+        # Domain lookups raise with the valid options in the message;
+        # surface that cleanly instead of a traceback.  Internal bugs
+        # can raise the same types — REPRO_DEBUG=1 re-raises for a
+        # full stack when the message alone is not enough.
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Application characterisation: PCA, clustering, classification (§3).
+
+Implements the paper's methodology from scratch on NumPy:
+
+* unit-normal feature scaling and the 14-feature matrix
+  (:mod:`repro.analysis.features`),
+* principal component analysis via SVD (:mod:`repro.analysis.pca`),
+* agglomerative hierarchical clustering of *features* to pick the
+  7 distinct representative counters (:mod:`repro.analysis.hcluster`),
+* the C/H/I/M application classifier (:mod:`repro.analysis.classify`).
+"""
+
+from repro.analysis.features import FeatureMatrix, build_feature_matrix, zscore
+from repro.analysis.pca import PCA
+from repro.analysis.hcluster import AgglomerativeClustering, fcluster_by_count
+from repro.analysis.classify import (
+    AppClassifier,
+    RuleBasedClassifier,
+    NearestCentroidClassifier,
+)
+
+__all__ = [
+    "FeatureMatrix",
+    "build_feature_matrix",
+    "zscore",
+    "PCA",
+    "AgglomerativeClustering",
+    "fcluster_by_count",
+    "AppClassifier",
+    "RuleBasedClassifier",
+    "NearestCentroidClassifier",
+]

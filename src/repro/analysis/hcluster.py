@@ -1,0 +1,149 @@
+"""Agglomerative hierarchical clustering, from scratch.
+
+The paper clusters *feature metrics* (not applications) after PCA to
+group counters that behave alike and keep one representative per group
+— reducing 14 collected metrics to the 7 distinct ones that a single
+non-multiplexed perf run can cover (§3.2).
+
+Implements standard bottom-up agglomeration with selectable linkage
+(average / single / complete) over Euclidean distances, producing a
+SciPy-style merge history that :func:`fcluster_by_count` cuts into a
+flat clustering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step: clusters ``a`` and ``b`` join at ``distance``."""
+
+    a: int
+    b: int
+    distance: float
+    size: int  # resulting cluster size
+
+
+_LINKAGES = ("average", "single", "complete")
+
+
+class AgglomerativeClustering:
+    """Bottom-up hierarchical clustering with Lance-Williams updates."""
+
+    def __init__(self, linkage: str = "average") -> None:
+        if linkage not in _LINKAGES:
+            raise ValueError(f"linkage must be one of {_LINKAGES}, got {linkage!r}")
+        self.linkage = linkage
+        self.merges_: list[Merge] | None = None
+        self.n_samples_: int | None = None
+
+    def fit(self, X: np.ndarray) -> "AgglomerativeClustering":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D (samples × features)")
+        n = X.shape[0]
+        if n < 2:
+            raise ValueError("need at least 2 samples")
+        # Pairwise distances, vectorised: ||a-b||² = |a|² + |b|² − 2a·b.
+        sq = np.einsum("ij,ij->i", X, X)
+        d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+        dist = np.sqrt(np.maximum(d2, 0.0))
+        np.fill_diagonal(dist, np.inf)
+
+        active = list(range(n))
+        sizes = {i: 1 for i in range(n)}
+        # Distance matrix grows as clusters are created; index by id.
+        D = {(min(i, j), max(i, j)): dist[i, j] for i in range(n) for j in range(i + 1, n)}
+        merges: list[Merge] = []
+        next_id = n
+        while len(active) > 1:
+            (a, b), dmin = min(
+                ((pair, D[pair]) for pair in D
+                 if pair[0] in sizes and pair[1] in sizes
+                 and pair[0] in active and pair[1] in active),
+                key=lambda kv: kv[1],
+            )
+            new = next_id
+            next_id += 1
+            sa, sb = sizes[a], sizes[b]
+            merges.append(Merge(a=a, b=b, distance=float(dmin), size=sa + sb))
+            active.remove(a)
+            active.remove(b)
+            for c in active:
+                dac = D.pop((min(a, c), max(a, c)))
+                dbc = D.pop((min(b, c), max(b, c)))
+                if self.linkage == "single":
+                    dnew = min(dac, dbc)
+                elif self.linkage == "complete":
+                    dnew = max(dac, dbc)
+                else:  # average
+                    dnew = (sa * dac + sb * dbc) / (sa + sb)
+                D[(min(new, c), max(new, c))] = dnew
+            D.pop((min(a, b), max(a, b)), None)
+            sizes[new] = sa + sb
+            active.append(new)
+        self.merges_ = merges
+        self.n_samples_ = n
+        return self
+
+    def labels_for(self, n_clusters: int) -> np.ndarray:
+        """Flat labels after cutting the dendrogram at ``n_clusters``."""
+        if self.merges_ is None or self.n_samples_ is None:
+            raise RuntimeError("clustering is not fitted; call fit() first")
+        return fcluster_by_count(self.merges_, self.n_samples_, n_clusters)
+
+
+def fcluster_by_count(
+    merges: list[Merge], n_samples: int, n_clusters: int
+) -> np.ndarray:
+    """Cut a merge history so exactly ``n_clusters`` clusters remain.
+
+    Labels are 0-based and renumbered in order of first appearance.
+    """
+    if not 1 <= n_clusters <= n_samples:
+        raise ValueError(
+            f"n_clusters must be in [1, {n_samples}], got {n_clusters}"
+        )
+    # Union-find replay of the first (n_samples - n_clusters) merges.
+    parent = list(range(n_samples + len(merges)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for step, m in enumerate(merges):
+        if step >= n_samples - n_clusters:
+            break
+        new = n_samples + step
+        parent[find(m.a)] = new
+        parent[find(m.b)] = new
+
+    roots: dict[int, int] = {}
+    labels = np.empty(n_samples, dtype=int)
+    for i in range(n_samples):
+        r = find(i)
+        if r not in roots:
+            roots[r] = len(roots)
+        labels[i] = roots[r]
+    return labels
+
+
+def representatives(
+    X: np.ndarray, labels: np.ndarray
+) -> list[int]:
+    """One representative sample index per cluster (nearest to centroid)."""
+    X = np.asarray(X, dtype=float)
+    labels = np.asarray(labels)
+    reps = []
+    for lab in sorted(set(labels.tolist())):
+        idx = np.flatnonzero(labels == lab)
+        centroid = X[idx].mean(axis=0)
+        d = np.linalg.norm(X[idx] - centroid, axis=1)
+        reps.append(int(idx[np.argmin(d)]))
+    return reps

@@ -1,0 +1,93 @@
+"""Principal component analysis, implemented on the SVD.
+
+The paper uses PCA to project its 14 gathered metrics into a space
+where the dominant, uncorrelated directions of variation are explicit,
+keeping the first two components (85.22% of variance in the paper) for
+the Figure 1 scatter.  PCA is scale-sensitive, so inputs are expected
+to be unit-normal scaled (§3.2); :func:`repro.analysis.features.zscore`
+does that.
+
+Implementation note: we use the thin SVD of the centred data matrix
+rather than an eigendecomposition of the covariance — numerically
+stabler and, per the HPC guides, the `full_matrices=False` form avoids
+materialising the large orthogonal factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PCA:
+    """Principal component analysis via thin SVD.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    components_:
+        ``(n_components, n_features)`` — rows are principal axes.
+    explained_variance_ratio_:
+        Fraction of total variance captured by each component.
+    mean_:
+        Per-feature means removed before projection.
+    """
+
+    def __init__(self, n_components: int | None = None) -> None:
+        if n_components is not None and n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+        self.singular_values_: np.ndarray | None = None
+        self.mean_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D (samples × features)")
+        n, d = X.shape
+        if n < 2:
+            raise ValueError("need at least 2 samples")
+        k = self.n_components if self.n_components is not None else min(n, d)
+        if k > min(n, d):
+            raise ValueError(
+                f"n_components={k} exceeds min(n_samples, n_features)={min(n, d)}"
+            )
+        self.mean_ = X.mean(axis=0)
+        Xc = X - self.mean_
+        # Thin SVD: Xc = U S Vt; principal axes are rows of Vt.
+        _u, s, vt = np.linalg.svd(Xc, full_matrices=False)
+        var = s**2 / (n - 1)
+        total = var.sum()
+        if total <= 0:
+            raise ValueError("data has zero variance")
+        self.components_ = vt[:k]
+        self.singular_values_ = s[:k]
+        self.explained_variance_ = var[:k]
+        self.explained_variance_ratio_ = var[:k] / total
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.components_ is None:
+            raise RuntimeError("PCA is not fitted; call fit() first")
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project samples onto the principal axes (scores)."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, scores: np.ndarray) -> np.ndarray:
+        """Reconstruct samples from scores (lossy if k < d)."""
+        self._check_fitted()
+        return np.asarray(scores, dtype=float) @ self.components_ + self.mean_
+
+    def feature_loadings(self, component: int = 0) -> np.ndarray:
+        """The weights of each original feature on one component."""
+        self._check_fitted()
+        if not 0 <= component < len(self.components_):
+            raise IndexError(f"component {component} out of range")
+        return self.components_[component]

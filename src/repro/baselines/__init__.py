@@ -1,0 +1,32 @@
+"""Offline oracles and mapping-policy baselines (§4.2, §8).
+
+* :mod:`repro.baselines.ilao` — Individually-Located Application
+  Optimisation: serial execution, each application exhaustively tuned
+  alone.
+* :mod:`repro.baselines.colao` — Co-Located Application Optimisation:
+  the brute-force co-location oracle over the full pair grid.
+* :mod:`repro.baselines.mapping` — the seven cluster mapping policies
+  of the §8 scalability study (SM, MNM1, MNM2, SNM, CBM, PTM, ECoST)
+  plus the brute-force upper bound UB.
+"""
+
+from repro.baselines.ilao import IlaoResult, ilao_best, ilao_pair_edp
+from repro.baselines.colao import ColaoResult, colao_best
+from repro.baselines.mapping import (
+    DEFAULT_UNTUNED_CONFIG,
+    PolicyOutcome,
+    evaluate_policy,
+    POLICIES,
+)
+
+__all__ = [
+    "IlaoResult",
+    "ilao_best",
+    "ilao_pair_edp",
+    "ColaoResult",
+    "colao_best",
+    "DEFAULT_UNTUNED_CONFIG",
+    "PolicyOutcome",
+    "evaluate_policy",
+    "POLICIES",
+]

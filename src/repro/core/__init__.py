@@ -1,0 +1,50 @@
+"""ECoST: the paper's primary contribution (§5-§6).
+
+The Energy-efficient Co-locating and Self-Tuning pipeline:
+
+1. **Classify** each unknown incoming application from a learning-
+   period counter profile (:mod:`repro.analysis.classify`).
+2. **Queue** it in a FIFO wait queue with head reservation and
+   small-job leap-forward (:mod:`repro.core.wait_queue`).
+3. **Pair** it with the application already running on a node using
+   the class-priority decision tree distilled from the Fig. 5 offline
+   analysis (:mod:`repro.core.pairing`).
+4. **Self-tune** the pair's six knobs (frequency, HDFS block size,
+   mapper count — per application) with a self-tuning prediction
+   technique: the lookup table LkT-STP or a machine-learning model
+   MLM-STP (:mod:`repro.core.stp`), both backed by the configuration
+   database built offline from the *training* applications
+   (:mod:`repro.core.database`).
+
+:class:`~repro.core.controller.ECoSTController` wires all of it into
+the discrete-event cluster engine as an online scheduler.
+"""
+
+from repro.core.wait_queue import WaitQueue, QueuedApp
+from repro.core.pairing import PairingPolicy, CLASS_PRIORITY, priority_of
+from repro.core.database import ConfigDatabase, DatabaseEntry, build_database
+from repro.core.stp import (
+    LkTSTP,
+    MLMSTP,
+    SelfTuningPredictor,
+    TrainingDataset,
+    build_training_dataset,
+)
+from repro.core.controller import ECoSTController
+
+__all__ = [
+    "WaitQueue",
+    "QueuedApp",
+    "PairingPolicy",
+    "CLASS_PRIORITY",
+    "priority_of",
+    "ConfigDatabase",
+    "DatabaseEntry",
+    "build_database",
+    "SelfTuningPredictor",
+    "LkTSTP",
+    "MLMSTP",
+    "TrainingDataset",
+    "build_training_dataset",
+    "ECoSTController",
+]

@@ -1,0 +1,229 @@
+"""The online ECoST controller (Fig. 4), wired into the cluster engine.
+
+Drives a :class:`~repro.mapreduce.engine.ClusterEngine` as its
+scheduler: incoming applications are profiled for a learning period
+and classified, wait in the reservation FIFO, are paired onto nodes by
+the class-priority decision tree, and receive self-tuned
+configurations from an STP backend.  Two applications share each node
+in steady state; when one finishes, the freed slot is refilled from
+the queue (§5: "several other applications are waiting in the wait
+queue to be paired as soon as any one of the two applications
+finishes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.classify import AppClassifier, NearestCentroidClassifier
+from repro.analysis.features import PROFILING_CONFIG, build_feature_matrix
+from repro.core.database import build_database
+from repro.core.pairing import PairingPolicy
+from repro.core.stp import (
+    AppDescriptor,
+    MLMSTP,
+    SelfTuningPredictor,
+    build_training_dataset,
+)
+from repro.core.wait_queue import QueuedApp, WaitQueue
+from repro.hardware.node import ATOM_C2758, NodeSpec
+from repro.mapreduce.engine import ClusterEngine, NodeEngine
+from repro.mapreduce.job import JobResult, JobSpec
+from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
+from repro.model.config import JobConfig
+from repro.telemetry.profiling import profile_features
+from repro.utils.rng import SeedLike
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import TRAINING_APPS, instances_for
+
+
+@dataclass
+class _Arrival:
+    time: float
+    instance: AppInstance
+    queued: bool = False
+
+
+class ECoSTController:
+    """Classify → queue → pair → self-tune → place."""
+
+    def __init__(
+        self,
+        cluster: ClusterEngine,
+        stp: SelfTuningPredictor,
+        classifier: AppClassifier,
+        *,
+        pairing: PairingPolicy | None = None,
+        node: NodeSpec = ATOM_C2758,
+        constants: SimConstants = DEFAULT_CONSTANTS,
+        profiling_seed: SeedLike = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.stp = stp
+        self.classifier = classifier
+        self.pairing = pairing or PairingPolicy()
+        self.node = node
+        self.constants = constants
+        self.profiling_seed = profiling_seed
+        self.queue = WaitQueue()
+        self._arrivals: list[_Arrival] = []
+        self.decisions: list[str] = []  # human-readable scheduling log
+        cluster.scheduler = self._schedule
+
+    # ------------------------------------------------------------ intake
+    def submit(self, instance: AppInstance, arrival_time: float = 0.0) -> None:
+        """Register an incoming application."""
+        if arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
+        self._arrivals.append(_Arrival(time=arrival_time, instance=instance))
+        self.cluster.notify_at(arrival_time)
+
+    def _classify(self, instance: AppInstance) -> QueuedApp:
+        """Step 1: learning-period profiling + classification."""
+        feats = profile_features(
+            instance, PROFILING_CONFIG,
+            node=self.node, constants=self.constants, seed=self.profiling_seed,
+        )
+        cls = self.classifier.classify(feats)
+        return QueuedApp(
+            instance=instance,
+            app_class=cls,
+            arrival_time=self.cluster.now,
+            features=dict(feats),
+        )
+
+    def _descriptor(self, qa: QueuedApp) -> AppDescriptor:
+        return AppDescriptor(
+            features=qa.features,
+            app_class=qa.app_class,
+            data_bytes=qa.instance.data_bytes,
+        )
+
+    def _running_descriptor(self, engine: NodeEngine) -> AppDescriptor:
+        running = engine.running[0]
+        feats = profile_features(
+            running.spec.instance, PROFILING_CONFIG,
+            node=self.node, constants=self.constants, seed=self.profiling_seed,
+        )
+        return AppDescriptor(
+            features=feats,
+            app_class=self.classifier.classify(feats),
+            data_bytes=running.spec.instance.data_bytes,
+        )
+
+    # --------------------------------------------------------- scheduling
+    def _cap_mappers(self, cfg: JobConfig, free: int) -> JobConfig:
+        if cfg.n_mappers <= free:
+            return cfg
+        return JobConfig(
+            frequency=cfg.frequency, block_size=cfg.block_size, n_mappers=free
+        )
+
+    def _place(self, qa: QueuedApp, cfg: JobConfig, node_id: int, t: float) -> None:
+        spec = JobSpec(instance=qa.instance, config=cfg, submit_time=qa.arrival_time)
+        self.cluster.pending.append(spec)
+        self.cluster.place(spec, node_id)
+        self.decisions.append(
+            f"t={t:8.1f}s node{node_id}: start {qa.instance.label} [{qa.app_class}] "
+            f"as {cfg.label}"
+        )
+
+    def _schedule(self, cluster: ClusterEngine, t: float) -> None:
+        # Move due arrivals through classification into the wait queue.
+        for arr in self._arrivals:
+            if not arr.queued and arr.time <= t + 1e-9:
+                arr.queued = True
+                self.queue.push(self._classify(arr.instance))
+
+        progress = True
+        while progress and len(self.queue):
+            progress = False
+            # Fill partner slots first (pairing is the point of ECoST),
+            # then start pairs on empty nodes.
+            for engine in cluster.nodes:
+                if len(self.queue) == 0:
+                    return
+                if len(engine.running) == 1 and engine.free_cores >= 1:
+                    run_desc = self._running_descriptor(engine)
+                    partner = self.pairing.choose_partner(
+                        self.queue, run_desc.app_class, allow_leap=True
+                    )
+                    if partner is None:
+                        continue
+                    # The running job's knobs are already committed; the
+                    # newcomer takes its side of the predicted pair
+                    # configuration, capped to the free cores.
+                    _cfg_run, cfg_new = self.stp.predict_configs(
+                        run_desc, self._descriptor(partner)
+                    )
+                    cfg_new = self._cap_mappers(cfg_new, engine.free_cores)
+                    self._place(partner, cfg_new, engine.node_id, t)
+                    progress = True
+            for engine in cluster.nodes:
+                if len(self.queue) == 0:
+                    return
+                if not engine.running:
+                    head = self.pairing.choose_partner(self.queue, None)
+                    if head is None:
+                        continue
+                    partner = self.pairing.choose_partner(
+                        self.queue, head.app_class, allow_leap=True
+                    )
+                    if partner is not None:
+                        cfg_a, cfg_b = self.stp.predict_configs(
+                            self._descriptor(head), self._descriptor(partner)
+                        )
+                        cfg_a = self._cap_mappers(cfg_a, self.node.n_cores - 1)
+                        self._place(head, cfg_a, engine.node_id, t)
+                        cfg_b = self._cap_mappers(cfg_b, engine.free_cores)
+                        self._place(partner, cfg_b, engine.node_id, t)
+                    else:
+                        # Last lonely job: tune it as a pair with itself
+                        # (it may later receive a partner anyway).
+                        d = self._descriptor(head)
+                        cfg_a, _ = self.stp.predict_configs(d, d)
+                        self._place(head, cfg_a, engine.node_id, t)
+                    progress = True
+
+    # -------------------------------------------------------------- runs
+    def run(self) -> list[JobResult]:
+        """Run the cluster until every submitted application finishes."""
+        results = self.cluster.run()
+        if len(self.queue) or any(not a.queued for a in self._arrivals):
+            raise RuntimeError("ECoST finished with applications still queued")
+        return results
+
+    # ---------------------------------------------------------- factories
+    @classmethod
+    def default(
+        cls,
+        cluster: ClusterEngine,
+        *,
+        model_kind: str = "reptree",
+        node: NodeSpec = ATOM_C2758,
+        constants: SimConstants = DEFAULT_CONSTANTS,
+        seed: SeedLike = 0,
+    ) -> "ECoSTController":
+        """Build the full pipeline from the training applications.
+
+        Constructs the configuration database and MLM-STP from sweeps
+        of the 5 known training applications and fits the
+        nearest-centroid classifier on their feature matrix — the
+        complete offline Step 0 of Figs. 6/7.
+        """
+        training = instances_for(TRAINING_APPS)
+        _db, sweeps = build_database(
+            training, node=node, constants=constants, keep_sweeps=True
+        )
+        dataset = build_training_dataset(
+            training, node=node, constants=constants, sweeps=sweeps, seed=seed
+        )
+        stp = MLMSTP(model_kind, node=node).fit(dataset)
+        fm = build_feature_matrix(training, node=node, constants=constants, seed=seed)
+        classifier = NearestCentroidClassifier().fit(
+            fm, [i.app_class for i in training]
+        )
+        return cls(
+            cluster, stp, classifier, node=node, constants=constants, profiling_seed=seed
+        )

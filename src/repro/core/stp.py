@@ -1,0 +1,539 @@
+"""Self-tuning prediction techniques (§6.4): LkT-STP and MLM-STP.
+
+Both techniques answer the same online question: *given two classified
+applications about to be co-located, which six knob settings
+(frequency, HDFS block size, mapper count — per application) minimise
+EDP?*
+
+* **LkT-STP** (Fig. 6): scan the offline configuration database for
+  the training pair that best resembles the incoming pair (by class
+  and input size) and reuse its stored optimum.
+* **MLM-STP** (Fig. 7): select the learned EDP model for the pair's
+  class combination, evaluate it over *all* permutations of the
+  tuning parameters (Step 4), and take the arg-min configuration.
+
+The learned models (LR / REPTree / MLP) are trained per class pair on
+rows from the training-pair sweeps: features of both applications,
+their input sizes, the six knobs → EDP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.database import ConfigDatabase, training_pairs
+from repro.hardware.node import ATOM_C2758, NodeSpec
+from repro.ml.base import Regressor
+from repro.ml.linreg import LinearRegression
+from repro.ml.mlp import MLPRegressor
+from repro.ml.reptree import REPTree
+from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
+from repro.model.config import JobConfig, pair_config_grid
+from repro.model.sweep import PairSweepResult, sweep_pair
+from repro.telemetry.profiling import REDUCED_FEATURE_NAMES, profile_features, reduced_vector
+from repro.analysis.features import PROFILING_CONFIG
+from repro.utils.rng import SeedLike, rng_from
+from repro.utils.units import GB, GHZ, MB
+from repro.workloads.base import AppClass, AppInstance
+
+_CLASS_CODE = {AppClass.COMPUTE: 0, AppClass.HYBRID: 1, AppClass.IO: 2, AppClass.MEMORY: 3}
+
+
+@dataclass(frozen=True)
+class AppDescriptor:
+    """What STP knows about one application at scheduling time."""
+
+    features: Mapping[str, float]  # 14-feature profiling dict
+    app_class: AppClass
+    data_bytes: int
+
+    def reduced(self) -> np.ndarray:
+        return reduced_vector(dict(self.features))
+
+
+class SelfTuningPredictor(Protocol):
+    """Interface shared by LkT-STP and MLM-STP."""
+
+    def predict_configs(
+        self, a: AppDescriptor, b: AppDescriptor
+    ) -> tuple[JobConfig, JobConfig]: ...
+
+
+def describe_instance(
+    instance: AppInstance,
+    app_class: AppClass | None = None,
+    *,
+    node: NodeSpec = ATOM_C2758,
+    constants: SimConstants = DEFAULT_CONSTANTS,
+    seed: SeedLike = 0,
+) -> AppDescriptor:
+    """Profile an instance (learning period) into an STP descriptor.
+
+    ``app_class`` defaults to the instance's true class; pass the
+    classifier's output to study the end-to-end pipeline including
+    classification error.
+    """
+    feats = profile_features(
+        instance, PROFILING_CONFIG, node=node, constants=constants, seed=seed
+    )
+    return AppDescriptor(
+        features=feats,
+        app_class=app_class if app_class is not None else instance.app_class,
+        data_bytes=instance.data_bytes,
+    )
+
+
+# --------------------------------------------------------------- LkT-STP
+class LkTSTP:
+    """Lookup-table self-tuning prediction (Fig. 6).
+
+    Implements the paper's literal procedure: classify the incoming
+    pair, then "scan the database to extract the tuning parameters
+    that provide the minimum EDP for the co-located applications" —
+    i.e. among the stored entries matching the class pair, reuse the
+    configuration of the entry with the smallest recorded EDP.  This
+    is exactly the inflexibility §7.2 criticises: the minimum-EDP
+    entry is typically a small-input pair, and its block/mapper
+    settings transfer imperfectly to other input sizes.
+
+    ``size_aware=True`` switches to nearest-(class, size) lookup — a
+    strictly better variant exercised by the ablation benchmarks.
+    """
+
+    def __init__(self, database: ConfigDatabase, *, size_aware: bool = False) -> None:
+        self.database = database
+        self.size_aware = size_aware
+
+    @staticmethod
+    def _oriented_distance(entry, a: AppDescriptor, b: AppDescriptor) -> tuple[float, bool]:
+        """(log-space size distance, swapped) of an entry vs. a query.
+
+        When the entry's two classes differ, the orientation is fixed
+        by matching classes; when they are equal, both orientations
+        are considered and the closer one wins.
+        """
+        import math
+
+        la, lb = math.log(a.data_bytes), math.log(b.data_bytes)
+        ea, eb = math.log(entry.size_a), math.log(entry.size_b)
+        fwd = abs(ea - la) + abs(eb - lb)
+        rev = abs(ea - lb) + abs(eb - la)
+        if entry.class_a != entry.class_b:
+            if (entry.class_a, entry.class_b) == (a.app_class, b.app_class):
+                return fwd, False
+            return rev, True
+        return (fwd, False) if fwd <= rev else (rev, True)
+
+    def predict_configs(
+        self, a: AppDescriptor, b: AppDescriptor
+    ) -> tuple[JobConfig, JobConfig]:
+        if self.size_aware:
+            cfg_a, cfg_b, _entry = self.database.lookup(
+                a.app_class, b.app_class, a.data_bytes, b.data_bytes
+            )
+            return cfg_a, cfg_b
+        entries = self.database.entries_for_classes(a.app_class, b.app_class)
+        if not entries:
+            # Unseen class combination: fall back to the nearest key.
+            cfg_a, cfg_b, _entry = self.database.lookup(
+                a.app_class, b.app_class, a.data_bytes, b.data_bytes
+            )
+            return cfg_a, cfg_b
+        scored = [(self._oriented_distance(e, a, b), e) for e in entries]
+        dmin = min(d for (d, _sw), _e in scored)
+        nearest = [((d, sw), e) for (d, sw), e in scored if d <= dmin + 1e-9]
+        (_d, swapped), best = min(nearest, key=lambda it: it[1].best_edp)
+        if swapped:
+            return best.config_b, best.config_a
+        return best.config_a, best.config_b
+
+
+# --------------------------------------------------------------- MLM-STP
+def _canonical_order(a: AppDescriptor, b: AppDescriptor) -> bool:
+    ka = (_CLASS_CODE[a.app_class], a.data_bytes)
+    kb = (_CLASS_CODE[b.app_class], b.data_bytes)
+    return ka <= kb
+
+
+def _row_block(
+    feat_a: np.ndarray,
+    size_a: int,
+    feat_b: np.ndarray,
+    size_b: int,
+    f1, b1, m1, f2, b2, m2,
+) -> np.ndarray:
+    """Assemble model-input rows for arrays of configurations.
+
+    Knobs are expressed in human scale (GHz, log2 MB, mappers) so the
+    learned models see comparable magnitudes.
+    """
+    n = len(np.atleast_1d(f1))
+    fa = np.tile(feat_a, (n, 1))
+    fb = np.tile(feat_b, (n, 1))
+    cols = [
+        fa,
+        np.full((n, 1), np.log2(size_a / GB + 1.0)),
+        fb,
+        np.full((n, 1), np.log2(size_b / GB + 1.0)),
+        (np.asarray(f1, dtype=float) / GHZ)[:, None],
+        np.log2(np.asarray(b1, dtype=float) / MB)[:, None],
+        np.asarray(m1, dtype=float)[:, None],
+        (np.asarray(f2, dtype=float) / GHZ)[:, None],
+        np.log2(np.asarray(b2, dtype=float) / MB)[:, None],
+        np.asarray(m2, dtype=float)[:, None],
+    ]
+    return np.hstack(cols)
+
+
+#: Number of model-input columns (2×7 features + 2 sizes + 6 knobs).
+N_MODEL_FEATURES = 2 * len(REDUCED_FEATURE_NAMES) + 2 + 6
+
+
+@dataclass
+class TrainingDataset:
+    """Per-class-pair training rows for the MLM models."""
+
+    X: np.ndarray
+    y: np.ndarray
+    pair_codes: np.ndarray  # (n,) canonical "C-H"-style strings
+    #: Reduced feature vectors of the training applications — the
+    #: manifold unknown-app features are projected onto at prediction.
+    train_features: np.ndarray = None  # type: ignore[assignment]
+    #: Data size (bytes) of each training-feature row; projection
+    #: prefers same-size rows so (features, size) stays on-manifold.
+    train_sizes: np.ndarray = None  # type: ignore[assignment]
+
+    def subset(self, pair_code: str) -> tuple[np.ndarray, np.ndarray]:
+        mask = self.pair_codes == pair_code
+        return self.X[mask], self.y[mask]
+
+    @property
+    def class_pairs(self) -> list[str]:
+        return sorted(set(self.pair_codes.tolist()))
+
+
+def pair_code(class_a: AppClass, class_b: AppClass) -> str:
+    """Canonical class-pair code, e.g. ``"C-M"``."""
+    a, b = sorted((class_a.value, class_b.value))
+    return f"{a}-{b}"
+
+
+def build_training_dataset(
+    instances: Sequence[AppInstance],
+    *,
+    node: NodeSpec = ATOM_C2758,
+    constants: SimConstants = DEFAULT_CONSTANTS,
+    sweeps: Mapping[tuple[str, str], PairSweepResult] | None = None,
+    rows_per_pair: int = 400,
+    include_self: bool = True,
+    seed: SeedLike = 0,
+) -> TrainingDataset:
+    """Sweep (or reuse sweeps of) training pairs and emit model rows.
+
+    Each pair contributes ``rows_per_pair`` grid points sampled without
+    replacement — always including the optimum, so models can learn
+    where the minimum lives.
+    """
+    rng = rng_from(seed)
+    descriptors = {
+        inst.label: describe_instance(inst, node=node, constants=constants, seed=seed)
+        for inst in instances
+    }
+    X_rows, y_rows, codes = [], [], []
+    for a, b in training_pairs(instances, include_self=include_self):
+        key = (a.label, b.label)
+        sweep = (sweeps or {}).get(key)
+        if sweep is None:
+            sweep = sweep_pair(a, b, node=node, constants=constants)
+        n = len(sweep.edp)
+        take = min(rows_per_pair, n)
+        idx = rng.choice(n, size=take, replace=False)
+        if sweep.best_index not in idx:
+            idx[0] = sweep.best_index
+        da, db = descriptors[a.label], descriptors[b.label]
+        rows = _row_block(
+            da.reduced(), a.data_bytes, db.reduced(), b.data_bytes,
+            sweep.freq_a[idx], sweep.block_a[idx], sweep.mappers_a[idx],
+            sweep.freq_b[idx], sweep.block_b[idx], sweep.mappers_b[idx],
+        )
+        X_rows.append(rows)
+        y_rows.append(sweep.edp[idx])
+        codes.extend([pair_code(a.app_class, b.app_class)] * take)
+    return TrainingDataset(
+        X=np.vstack(X_rows),
+        y=np.concatenate(y_rows),
+        pair_codes=np.array(codes),
+        train_features=np.vstack([d.reduced() for d in descriptors.values()]),
+        train_sizes=np.array([d.data_bytes for d in descriptors.values()], dtype=float),
+    )
+
+
+ModelFactory = Callable[[], Regressor]
+
+
+def _make_lr() -> LinearRegression:
+    return LinearRegression()
+
+
+def _make_reptree() -> REPTree:
+    return REPTree(seed=0)
+
+
+def _make_mlp() -> MLPRegressor:
+    # Targets are log-transformed by the STP pipeline itself.
+    return MLPRegressor(epochs=250, batch_size=256, log_target=False, seed=0)
+
+
+#: The paper's three MLM model families (§6.3).  Entries are named
+#: module-level functions (not lambdas) so fitted STP objects pickle.
+MODEL_FACTORIES: dict[str, ModelFactory] = {
+    "lr": _make_lr,
+    "reptree": _make_reptree,
+    "mlp": _make_mlp,
+}
+
+
+def basin_select(
+    pred_log: np.ndarray,
+    knob_matrix: np.ndarray,
+    *,
+    eps: float = 0.05,
+) -> int:
+    """Robust arg-min over a predicted (log-)EDP surface.
+
+    Rather than taking the raw arg-min — which rewards the model\'s most
+    optimistic single point (the optimiser\'s curse) — select the most
+    *central* configuration of the low-EDP basin: all grid points whose
+    prediction lies within ``eps`` (log space ≈ relative) of the
+    minimum, reduced to the one nearest the basin\'s knob-median.  On
+    piecewise-constant predictors (trees) this avoids arbitrary
+    tie-breaking inside wide leaves.
+    """
+    pred_log = np.asarray(pred_log, dtype=float)
+    basin = np.flatnonzero(pred_log <= pred_log.min() + eps)
+    med = np.median(knob_matrix[basin], axis=0)
+    span = knob_matrix.max(axis=0) - knob_matrix.min(axis=0)
+    span = np.where(span < 1e-12, 1.0, span)
+    d = np.linalg.norm((knob_matrix[basin] - med) / span, axis=1)
+    return int(basin[np.argmin(d)])
+
+
+class MLMSTP:
+    """Machine-learning-model self-tuning prediction (Fig. 7).
+
+    Three reproduction-specific robustness measures (each documented in
+    DESIGN.md):
+
+    * all models are trained on **log EDP** (EDP spans orders of
+      magnitude; the selection arg-min is invariant to the monotone
+      transform);
+    * unknown applications\' features are **projected onto the training
+      manifold** — replaced by the most-resembling training
+      application\'s features — which is the paper\'s own §6.4 step
+      ("the classifier chooses the application in the database that
+      best resembles the testing applications");
+    * the final configuration comes from :func:`basin_select`, not a
+      raw arg-min.
+
+    ``scope`` chooses between one global model (default — lets the
+    model interpolate across class boundaries) and the paper\'s
+    per-class-pair models (``scope="per-class"``).
+    """
+
+    def __init__(
+        self,
+        model_kind: str | ModelFactory = "reptree",
+        *,
+        node: NodeSpec = ATOM_C2758,
+        scope: str = "global",
+        project_features: bool = True,
+        basin_eps: float = 0.05,
+    ) -> None:
+        if callable(model_kind):
+            self._factory: ModelFactory = model_kind
+            self.model_kind = getattr(model_kind, "__name__", "custom")
+        else:
+            try:
+                self._factory = MODEL_FACTORIES[model_kind]
+            except KeyError:
+                raise ValueError(
+                    f"unknown model kind {model_kind!r}; "
+                    f"valid: {sorted(MODEL_FACTORIES)}"
+                ) from None
+            self.model_kind = model_kind
+        if scope not in ("global", "per-class"):
+            raise ValueError(f"scope must be 'global' or 'per-class', got {scope!r}")
+        self.node = node
+        self.scope = scope
+        self.project_features = project_features
+        self.basin_eps = basin_eps
+        self.models_: dict[str, Regressor] = {}
+        self.global_model_: Regressor | None = None
+        self.train_features_: np.ndarray | None = None
+        self.train_sizes_: np.ndarray | None = None
+
+    def fit(self, dataset: TrainingDataset) -> "MLMSTP":
+        """Train on log-EDP: per class pair and/or the global model."""
+        y_log = np.log(dataset.y)
+        if self.scope == "per-class":
+            for code in dataset.class_pairs:
+                X, y = dataset.subset(code)
+                self.models_[code] = self._factory().fit(X, np.log(y))
+        self.global_model_ = self._factory().fit(dataset.X, y_log)
+        self.train_features_ = dataset.train_features
+        self.train_sizes_ = dataset.train_sizes
+        return self
+
+    def _model_for(self, code: str) -> Regressor:
+        if self.scope == "per-class" and code in self.models_:
+            return self.models_[code]
+        if self.global_model_ is None:
+            raise RuntimeError("MLM-STP is not fitted")
+        return self.global_model_
+
+    def _project(self, feat: np.ndarray, size: float | None = None) -> np.ndarray:
+        """Replace features by the nearest training application\'s.
+
+        When ``size`` is given, candidates are restricted to training
+        rows of the same input size (if any exist) so the projected
+        (features, size) point lies exactly on the training manifold —
+        trees route such points like the lookup table would.
+        """
+        if not self.project_features or self.train_features_ is None:
+            return feat
+        train = self.train_features_
+        sizes = self.train_sizes_
+        idx = np.arange(len(train))
+        if size is not None and sizes is not None:
+            same = np.flatnonzero(np.isclose(sizes, size, rtol=1e-6))
+            if same.size:
+                idx = same
+        cand = train[idx]
+        span = train.max(axis=0) - train.min(axis=0)
+        span = np.where(span < 1e-12, 1.0, span)
+        d = np.linalg.norm((cand - feat) / span, axis=1)
+        return cand[int(np.argmin(d))]
+
+    def predict_configs(
+        self, a: AppDescriptor, b: AppDescriptor
+    ) -> tuple[JobConfig, JobConfig]:
+        """Step 3-4 of Fig. 7: pick the model, arg-min over the grid."""
+        if self.global_model_ is None:
+            raise RuntimeError("MLM-STP is not fitted; call fit() first")
+        swapped = not _canonical_order(a, b)
+        ca, cb = (b, a) if swapped else (a, b)
+        f1, b1, m1, f2, b2, m2 = pair_config_grid(self.node)
+        X = _row_block(
+            self._project(ca.reduced(), ca.data_bytes), ca.data_bytes,
+            self._project(cb.reduced(), cb.data_bytes), cb.data_bytes,
+            f1, b1, m1, f2, b2, m2,
+        )
+        model = self._model_for(pair_code(ca.app_class, cb.app_class))
+        pred = np.asarray(model.predict(X))
+        knobs = np.column_stack(
+            [f1 / GHZ, np.log2(b1 / MB), m1, f2 / GHZ, np.log2(b2 / MB), m2]
+        )
+        i = basin_select(pred, knobs, eps=self.basin_eps)
+        cfg_a = JobConfig(frequency=float(f1[i]), block_size=int(b1[i]), n_mappers=int(m1[i]))
+        cfg_b = JobConfig(frequency=float(f2[i]), block_size=int(b2[i]), n_mappers=int(m2[i]))
+        return (cfg_b, cfg_a) if swapped else (cfg_a, cfg_b)
+
+    def predict_single_config(self, a: AppDescriptor) -> JobConfig:
+        """Tune a standalone application (the PTM policy of §8).
+
+        Uses the model's pair grid with the application paired against
+        itself and returns the first-slot configuration restricted to
+        the standalone mapper range.
+        """
+        cfg_a, _cfg_b = self.predict_configs(a, a)
+        return cfg_a
+
+
+class SoloSTP:
+    """Self-tuning of *standalone* applications (PTM in §8).
+
+    Same recipe as MLM-STP but trained on the 160-configuration solo
+    sweeps of the training instances, so the predicted mapper count
+    can use the full core range (a solo job may take all 8 cores).
+    """
+
+    def __init__(
+        self,
+        model_kind: str | ModelFactory = "reptree",
+        *,
+        node: NodeSpec = ATOM_C2758,
+        constants: SimConstants = DEFAULT_CONSTANTS,
+    ) -> None:
+        if callable(model_kind):
+            self._factory = model_kind
+        else:
+            self._factory = MODEL_FACTORIES[model_kind]
+        self.node = node
+        self.constants = constants
+        self.model_: Regressor | None = None
+
+    @staticmethod
+    def _rows(feat: np.ndarray, size: int, f, b, m) -> np.ndarray:
+        n = len(np.atleast_1d(f))
+        return np.hstack(
+            [
+                np.tile(feat, (n, 1)),
+                np.full((n, 1), np.log2(size / GB + 1.0)),
+                (np.asarray(f, dtype=float) / GHZ)[:, None],
+                np.log2(np.asarray(b, dtype=float) / MB)[:, None],
+                np.asarray(m, dtype=float)[:, None],
+            ]
+        )
+
+    def fit(self, instances: Sequence[AppInstance], *, seed: SeedLike = 0) -> "SoloSTP":
+        """Train on log-EDP of the full 160-point solo sweeps."""
+        from repro.model.sweep import sweep_solo
+
+        X_rows, y_rows, feats, sizes = [], [], [], []
+        for inst in instances:
+            sweep = sweep_solo(inst, node=self.node, constants=self.constants)
+            desc = describe_instance(
+                inst, node=self.node, constants=self.constants, seed=seed
+            )
+            feats.append(desc.reduced())
+            sizes.append(float(inst.data_bytes))
+            X_rows.append(
+                self._rows(
+                    desc.reduced(), inst.data_bytes,
+                    sweep.freq, sweep.block, sweep.mappers,
+                )
+            )
+            y_rows.append(sweep.edp)
+        self.model_ = self._factory().fit(
+            np.vstack(X_rows), np.log(np.concatenate(y_rows))
+        )
+        self._train_features = np.vstack(feats)
+        self._train_sizes = np.asarray(sizes)
+        return self
+
+    def _project(self, feat: np.ndarray, size: float) -> np.ndarray:
+        """Same-size manifold projection, as in :class:`MLMSTP`."""
+        train, sizes = self._train_features, self._train_sizes
+        idx = np.flatnonzero(np.isclose(sizes, size, rtol=1e-6))
+        if idx.size == 0:
+            idx = np.arange(len(train))
+        cand = train[idx]
+        span = train.max(axis=0) - train.min(axis=0)
+        span = np.where(span < 1e-12, 1.0, span)
+        d = np.linalg.norm((cand - feat) / span, axis=1)
+        return cand[int(np.argmin(d))]
+
+    def predict_config(self, a: AppDescriptor) -> JobConfig:
+        if self.model_ is None:
+            raise RuntimeError("SoloSTP is not fitted; call fit() first")
+        from repro.model.config import config_grid
+
+        f, b, m = config_grid(self.node)
+        X = self._rows(self._project(a.reduced(), a.data_bytes), a.data_bytes, f, b, m)
+        pred = np.asarray(self.model_.predict(X))
+        knobs = np.column_stack([f / GHZ, np.log2(b / MB), m])
+        i = basin_select(pred, knobs)
+        return JobConfig(frequency=float(f[i]), block_size=int(b[i]), n_mappers=int(m[i]))

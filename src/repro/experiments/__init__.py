@@ -1,0 +1,28 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes a ``run_*`` function returning a structured
+report object with a ``render()`` method that prints the same rows or
+series the paper's artefact shows.  The heavyweight shared inputs
+(sweeps, databases, fitted models) are built once and disk-cached by
+:mod:`repro.experiments.artifacts`.
+
+Experiment index (see DESIGN.md §4):
+
+======  =====================================================
+FIG1    PCA scatter / variance of the 14 feature metrics
+FIG2    EDP improvement from tuning knobs, individually vs jointly
+FIG3    COLAO vs ILAO EDP ratios per class pair
+FIG5    class-pair priority ranking by minimum EDP
+TAB1    APE of the LR / REPTree / MLP EDP models
+TAB2    predicted configurations + error vs the COLAO oracle
+SEC7    mean EDP error of each STP technique on unknown workloads
+FIG8    training / prediction time of each STP model
+TAB3    the WS1-WS8 workload scenarios
+FIG9    EDP of the mapping policies on 1/2/4/8-node clusters
+======  =====================================================
+"""
+
+from repro.experiments import artifacts
+from repro.experiments.scenarios import WORKLOAD_SCENARIOS, scenario_instances
+
+__all__ = ["artifacts", "WORKLOAD_SCENARIOS", "scenario_instances"]

@@ -1,0 +1,125 @@
+"""Disk-cached heavyweight artifacts shared across experiments.
+
+Building the configuration database, training dataset, and fitted STP
+models takes tens of seconds to minutes; every experiment and
+benchmark that needs them goes through these accessors so the work
+happens once per calibration version.  Caches are pickles under
+``.repro_cache/`` keyed by artifact name and :data:`CACHE_VERSION` —
+bump the version whenever profiles or hardware constants change.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.analysis.classify import NearestCentroidClassifier
+from repro.analysis.features import build_feature_matrix
+from repro.core.database import ConfigDatabase, build_database
+from repro.core.stp import (
+    LkTSTP,
+    MLMSTP,
+    SoloSTP,
+    TrainingDataset,
+    build_training_dataset,
+)
+from repro.workloads.registry import TRAINING_APPS, instances_for
+
+#: Bump when profiles / hardware constants / STP pipeline change.
+CACHE_VERSION = "v1"
+
+
+def cache_dir() -> Path:
+    """The cache directory (override with ``REPRO_CACHE_DIR``)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".repro_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def cached(name: str, build: Callable[[], Any]) -> Any:
+    """Load ``name`` from the cache or build and store it."""
+    path = cache_dir() / f"{name}-{CACHE_VERSION}.pkl"
+    if path.exists():
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    value = build()
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("wb") as fh:
+        pickle.dump(value, fh)
+    tmp.replace(path)
+    return value
+
+
+def clear_cache() -> int:
+    """Delete all cached artifacts; returns the number removed."""
+    n = 0
+    for p in cache_dir().glob("*.pkl"):
+        p.unlink()
+        n += 1
+    return n
+
+
+# ------------------------------------------------------------ accessors
+def get_database_and_sweep_labels() -> ConfigDatabase:
+    """The training-pair configuration database (§6.2)."""
+    return cached("database", lambda: build_database(instances_for(TRAINING_APPS))[0])
+
+
+def get_training_dataset(rows_per_pair: int = 500) -> TrainingDataset:
+    """Model-training rows from the training-pair sweeps."""
+    def build() -> TrainingDataset:
+        training = instances_for(TRAINING_APPS)
+        _db, sweeps = build_database(training, keep_sweeps=True)
+        return build_training_dataset(
+            training, sweeps=sweeps, rows_per_pair=rows_per_pair, seed=0
+        )
+
+    return cached(f"dataset-rpp{rows_per_pair}", build)
+
+
+def get_lkt() -> LkTSTP:
+    """The lookup-table STP over the cached database."""
+    return LkTSTP(get_database_and_sweep_labels())
+
+
+def get_mlm(model_kind: str) -> MLMSTP:
+    """A fitted MLM-STP (``"lr"``, ``"reptree"``, or ``"mlp"``)."""
+    def build() -> MLMSTP:
+        return MLMSTP(model_kind).fit(get_training_dataset())
+
+    return cached(f"mlm-{model_kind}", build)
+
+
+def get_solo_stp(model_kind: str = "reptree") -> SoloSTP:
+    """A fitted standalone-application tuner (PTM backend)."""
+    def build() -> SoloSTP:
+        return SoloSTP(model_kind).fit(instances_for(TRAINING_APPS), seed=0)
+
+    return cached(f"solo-{model_kind}", build)
+
+
+def get_classifier() -> NearestCentroidClassifier:
+    """Nearest-centroid classifier fitted on the training apps."""
+    def build() -> NearestCentroidClassifier:
+        training = instances_for(TRAINING_APPS)
+        fm = build_feature_matrix(training, seed=0)
+        return NearestCentroidClassifier().fit(fm, [i.app_class for i in training])
+
+    return cached("classifier", build)
+
+
+def get_components(model_kind: str = "reptree"):
+    """The PTM/ECoST/UB component bundle for the §8 policies."""
+    from repro.baselines.mapping import TunedComponents
+
+    return TunedComponents(
+        solo_stp=get_solo_stp(model_kind),
+        pair_stp=get_mlm(model_kind),
+        classifier=get_classifier(),
+    )

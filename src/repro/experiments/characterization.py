@@ -1,0 +1,115 @@
+"""§3-style characterisation table: resource signatures of all apps.
+
+The paper's §3 narrative characterises every studied application by
+its runtime resource utilisation and micro-architectural metrics and
+assigns the C/H/I/M class.  This experiment renders that
+characterisation as one table — tuned solo execution per instance,
+with utilisations, counters and the derived class — and doubles as the
+calibration sheet for the reproduction's profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.features import PROFILING_CONFIG
+from repro.hardware.node import ATOM_C2758, NodeSpec
+from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
+from repro.model.sweep import sweep_solo
+from repro.telemetry.profiling import profile_features
+from repro.utils.tables import render_table
+from repro.utils.units import GB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import ALL_APPS, get_app
+
+
+@dataclass(frozen=True)
+class AppCharacterization:
+    """One application's characterisation row."""
+
+    code: str
+    app_class: str
+    tuned_config: str
+    runtime_s: float
+    power_w: float
+    edp: float
+    cpu_user_pct: float
+    cpu_iowait_pct: float
+    llc_mpki: float
+    ipc: float
+    mem_util: float
+    disk_util: float
+
+
+@dataclass(frozen=True)
+class CharacterizationReport:
+    data_bytes: int
+    rows: tuple[AppCharacterization, ...]
+
+    def by_class(self) -> dict[str, list[AppCharacterization]]:
+        out: dict[str, list[AppCharacterization]] = {}
+        for row in self.rows:
+            out.setdefault(row.app_class, []).append(row)
+        return out
+
+    def render(self) -> str:
+        table_rows = [
+            [
+                r.code, r.app_class, r.tuned_config, r.runtime_s, r.power_w,
+                f"{r.edp:.3e}", r.cpu_user_pct, r.cpu_iowait_pct,
+                r.llc_mpki, r.ipc, r.mem_util, r.disk_util,
+            ]
+            for r in sorted(self.rows, key=lambda r: (r.app_class, r.code))
+        ]
+        return render_table(
+            [
+                "app", "class", "tuned config", "T(s)", "P(W)", "EDP",
+                "CPUuser%", "iowait%", "LLC MPKI", "IPC", "u_mem", "u_disk",
+            ],
+            table_rows,
+            title=(
+                "S3 characterisation — tuned solo execution at "
+                f"{self.data_bytes // GB}GB"
+            ),
+            floatfmt=".2f",
+        )
+
+
+def run_characterization(
+    *,
+    data_bytes: int = 10 * GB,
+    node: NodeSpec = ATOM_C2758,
+    constants: SimConstants = DEFAULT_CONSTANTS,
+    seed: int = 0,
+) -> CharacterizationReport:
+    """Characterise all 11 applications at one input size."""
+    rows = []
+    for code in ALL_APPS:
+        inst = AppInstance(get_app(code), data_bytes)
+        sweep = sweep_solo(inst, node=node, constants=constants)
+        i = sweep.best_index
+        m = sweep.metrics
+        feats = profile_features(
+            inst, PROFILING_CONFIG, node=node, constants=constants, seed=seed
+        )
+        rows.append(
+            AppCharacterization(
+                code=code,
+                app_class=inst.app_class.value,
+                tuned_config=sweep.best_config.label,
+                runtime_s=float(m.duration[i]),
+                power_w=float(m.power[i]),
+                edp=float(m.edp[i]),
+                cpu_user_pct=feats["cpu_user"],
+                cpu_iowait_pct=feats["cpu_iowait"],
+                llc_mpki=feats["llc_mpki"],
+                ipc=feats["ipc"],
+                mem_util=float(
+                    np.minimum(m.mem_demand[i] / node.membw.achievable_bw, 1.0)
+                ),
+                disk_util=float(m.u_disk[i]),
+            )
+        )
+    return CharacterizationReport(data_bytes=data_bytes, rows=tuple(rows))

@@ -1,0 +1,93 @@
+"""FIG1 — PCA of the 14 feature metrics (paper Figure 1, §3.2).
+
+Profiles all 33 application instances, scales the 14-feature matrix to
+unit normal, projects onto the first two principal components, and
+clusters the *features* hierarchically to select the 7 representative
+counters.  The paper reports PC1+PC2 covering 85.22% of variance and
+keeps {CPUuser, CPUiowait, I/O read, I/O write, IPC, memory footprint,
+LLC MPKI}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.features import FeatureMatrix, build_feature_matrix
+from repro.analysis.hcluster import AgglomerativeClustering
+from repro.analysis.pca import PCA
+from repro.telemetry.profiling import FEATURE_NAMES
+from repro.utils.tables import render_table
+from repro.workloads.registry import all_instances
+
+
+@dataclass(frozen=True)
+class Fig1Report:
+    """PCA + feature-clustering results."""
+
+    matrix: FeatureMatrix
+    pc_scores: np.ndarray  # (n_instances, 2)
+    explained_variance_ratio: tuple[float, float]
+    feature_loadings: np.ndarray  # (2, 14): feature coordinates
+    feature_clusters: dict[int, list[str]]
+
+    @property
+    def pc12_variance(self) -> float:
+        return sum(self.explained_variance_ratio)
+
+    def render(self) -> str:
+        rows = []
+        for inst, (pc1, pc2) in zip(self.matrix.instances, self.pc_scores):
+            rows.append([inst.label, str(inst.app_class), pc1, pc2])
+        scatter = render_table(
+            ["instance", "class", "PC1", "PC2"],
+            rows,
+            title=(
+                f"Figure 1 — instance scatter in PC space "
+                f"(PC1+PC2 variance: {self.pc12_variance:.1%})"
+            ),
+        )
+        load_rows = [
+            [name, self.feature_loadings[0, j], self.feature_loadings[1, j]]
+            for j, name in enumerate(FEATURE_NAMES)
+        ]
+        loadings = render_table(
+            ["feature", "PC1 loading", "PC2 loading"],
+            load_rows,
+            title="Feature positions (loadings) on PC1/PC2",
+        )
+        cluster_rows = [
+            [cid, ", ".join(names)] for cid, names in sorted(self.feature_clusters.items())
+        ]
+        clusters = render_table(
+            ["cluster", "features"],
+            cluster_rows,
+            title="Hierarchical clustering of features (7 groups -> representatives)",
+        )
+        return "\n\n".join([scatter, loadings, clusters])
+
+
+def run_fig1(*, seed: int = 0, n_feature_clusters: int = 7) -> Fig1Report:
+    """Reproduce Figure 1's analysis end to end."""
+    matrix = build_feature_matrix(all_instances(), seed=seed)
+    pca = PCA(n_components=2).fit(matrix.scaled)
+    scores = pca.transform(matrix.scaled)
+
+    # Cluster features (columns) in instance space, as the paper does
+    # to merge behaviourally-redundant counters.
+    clustering = AgglomerativeClustering().fit(matrix.scaled.T)
+    labels = clustering.labels_for(n_feature_clusters)
+    clusters: dict[int, list[str]] = {}
+    for name, lab in zip(FEATURE_NAMES, labels):
+        clusters.setdefault(int(lab), []).append(name)
+
+    evr = pca.explained_variance_ratio_
+    assert evr is not None and pca.components_ is not None
+    return Fig1Report(
+        matrix=matrix,
+        pc_scores=scores,
+        explained_variance_ratio=(float(evr[0]), float(evr[1])),
+        feature_loadings=pca.components_,
+        feature_clusters=clusters,
+    )

@@ -1,0 +1,98 @@
+"""FIG3 — COLAO vs ILAO (paper Figure 3, §4.2).
+
+For every unordered pair of training applications at a common input
+size, computes the EDP of the co-location oracle (COLAO) and of serial
+individually-tuned execution (ILAO), reporting the ILAO/COLAO ratio
+(>1 means co-location wins).  Shape targets from the paper: COLAO wins
+almost everywhere, the largest gap is an I-I pair (4.52× in the
+paper), and gaps shrink whenever a memory-bound application is
+involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+
+from repro.baselines.colao import colao_best
+from repro.baselines.ilao import ilao_best, ilao_pair_edp
+from repro.hardware.node import ATOM_C2758, NodeSpec
+from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
+from repro.utils.tables import render_table
+from repro.utils.units import GB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import TRAINING_APPS, get_app
+
+
+@dataclass(frozen=True)
+class PairRatio:
+    code_a: str
+    code_b: str
+    class_pair: str
+    ilao_edp: float
+    colao_edp: float
+
+    @property
+    def ratio(self) -> float:
+        """ILAO/COLAO EDP ratio: >1 means co-location wins."""
+        return self.ilao_edp / self.colao_edp
+
+
+@dataclass(frozen=True)
+class Fig3Report:
+    data_bytes: int
+    pairs: tuple[PairRatio, ...]
+
+    @property
+    def max_ratio(self) -> PairRatio:
+        return max(self.pairs, key=lambda p: p.ratio)
+
+    def ratios_by_class(self) -> dict[str, float]:
+        """Mean ratio per class pair."""
+        acc: dict[str, list[float]] = {}
+        for p in self.pairs:
+            acc.setdefault(p.class_pair, []).append(p.ratio)
+        return {k: sum(v) / len(v) for k, v in acc.items()}
+
+    def render(self) -> str:
+        rows = [
+            [p.code_a + "-" + p.code_b, p.class_pair, p.ilao_edp, p.colao_edp, p.ratio]
+            for p in sorted(self.pairs, key=lambda p: -p.ratio)
+        ]
+        best = self.max_ratio
+        return render_table(
+            ["pair", "classes", "ILAO EDP", "COLAO EDP", "COLAO gain (x)"],
+            rows,
+            title=(
+                "Figure 3 — COLAO vs ILAO at "
+                f"{self.data_bytes // GB}GB (max gain "
+                f"{best.ratio:.2f}x on {best.class_pair})"
+            ),
+            floatfmt=".3g",
+        )
+
+
+def run_fig3(
+    *,
+    data_bytes: int = 10 * GB,
+    node: NodeSpec = ATOM_C2758,
+    constants: SimConstants = DEFAULT_CONSTANTS,
+    codes: tuple[str, ...] = TRAINING_APPS,
+) -> Fig3Report:
+    """COLAO/ILAO over all same-size training pairs (incl. self-pairs)."""
+    instances = {c: AppInstance(get_app(c), data_bytes) for c in codes}
+    solos = {c: ilao_best(inst, node=node, constants=constants) for c, inst in instances.items()}
+    pairs = []
+    for a, b in combinations_with_replacement(codes, 2):
+        co = colao_best(instances[a], instances[b], node=node, constants=constants)
+        ilao = ilao_pair_edp(solos[a], solos[b])
+        cp = "-".join(
+            sorted((instances[a].app_class.value, instances[b].app_class.value))
+        )
+        pairs.append(
+            PairRatio(
+                code_a=a, code_b=b, class_pair=cp,
+                ilao_edp=ilao, colao_edp=co.edp,
+            )
+        )
+    return Fig3Report(data_bytes=data_bytes, pairs=tuple(pairs))

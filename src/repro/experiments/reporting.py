@@ -1,0 +1,140 @@
+"""Consolidated experiment reporting.
+
+Runs any subset of the paper's experiments and renders one combined
+report.  Used by the ``python -m repro`` command line and handy from
+notebooks::
+
+    from repro.experiments.reporting import run_experiments
+    print(run_experiments(["FIG5", "SEC7"]))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+#: Experiment id -> (description, runner returning an object with .render()).
+_REGISTRY: dict[str, tuple[str, Callable[[], object]]] = {}
+
+
+def _register(exp_id: str, description: str):
+    def deco(fn: Callable[[], object]):
+        _REGISTRY[exp_id] = (description, fn)
+        return fn
+
+    return deco
+
+
+@_register("FIG1", "PCA scatter / variance of the 14 feature metrics")
+def _fig1():
+    from repro.experiments.fig1_pca import run_fig1
+
+    return run_fig1()
+
+
+@_register("FIG2", "EDP improvement from individual vs joint knob tuning")
+def _fig2():
+    from repro.experiments.fig2_tuning import run_fig2
+
+    class Multi:
+        def __init__(self, reports):
+            self.reports = reports
+
+        def render(self):
+            return "\n\n".join(r.render() for r in self.reports)
+
+    return Multi([run_fig2(code) for code in ("wc", "st", "ts")])
+
+
+@_register("FIG3", "COLAO vs ILAO EDP ratios per class pair")
+def _fig3():
+    from repro.experiments.fig3_colao_ilao import run_fig3
+
+    return run_fig3()
+
+
+@_register("FIG5", "class-pair priority ranking by minimum EDP")
+def _fig5():
+    from repro.experiments.fig5_priority import run_fig5
+
+    return run_fig5()
+
+
+@_register("TAB1", "APE of the LR / REPTree / MLP EDP models")
+def _tab1():
+    from repro.experiments.table1_ape import run_table1
+
+    return run_table1()
+
+
+@_register("TAB2", "predicted configurations + error vs the COLAO oracle")
+def _tab2():
+    from repro.experiments.table2_configs import run_table2
+
+    return run_table2()
+
+
+@_register("SEC7", "mean EDP error of each STP technique on unknown workloads")
+def _sec7():
+    from repro.experiments.sec7_error import run_sec7
+
+    return run_sec7()
+
+
+@_register("FIG8", "training / prediction time of each STP technique")
+def _fig8():
+    from repro.experiments.fig8_overhead import run_fig8
+
+    return run_fig8()
+
+
+@_register("FIG9", "EDP of the mapping policies on 1/2/4/8-node clusters")
+def _fig9():
+    from repro.experiments.fig9_scalability import run_fig9
+
+    return run_fig9()
+
+
+@_register("EXT-CHAR", "extension: S3-style characterisation table of all apps")
+def _ext_char():
+    from repro.experiments.characterization import run_characterization
+
+    return run_characterization()
+
+
+@_register("EXT-CORR", "extension: counter-outcome correlation analysis")
+def _ext_corr():
+    from repro.analysis.correlation import correlate_with_outcomes
+    from repro.analysis.features import build_feature_matrix
+    from repro.utils.units import GB
+    from repro.workloads.registry import ALL_APPS, instances_for
+
+    fm = build_feature_matrix(instances_for(ALL_APPS, sizes=(5 * GB,)), seed=0)
+    return correlate_with_outcomes(fm)
+
+
+def available_experiments() -> dict[str, str]:
+    """Experiment ids and their one-line descriptions."""
+    return {k: desc for k, (desc, _fn) in _REGISTRY.items()}
+
+
+def run_experiment(exp_id: str) -> object:
+    """Run one experiment by id; returns its report object."""
+    key = exp_id.upper()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; valid: {', '.join(_REGISTRY)}"
+        )
+    _desc, fn = _REGISTRY[key]
+    return fn()
+
+
+def run_experiments(exp_ids: Sequence[str] | None = None) -> str:
+    """Run several experiments and return one combined rendering."""
+    ids = list(exp_ids) if exp_ids else list(_REGISTRY)
+    blocks = []
+    for exp_id in ids:
+        report = run_experiment(exp_id)
+        desc = _REGISTRY[exp_id.upper()][0]
+        header = f"### {exp_id.upper()} — {desc}"
+        blocks.append(header + "\n\n" + report.render())  # type: ignore[attr-defined]
+    return "\n\n\n".join(blocks)

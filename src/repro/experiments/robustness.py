@@ -1,0 +1,172 @@
+"""Robustness extension: STP under measurement noise and misclassification.
+
+The paper assumes a clean learning period; a deployed controller faces
+noisy counters (PMU multiplexing on a loaded node) and occasional
+misclassification.  This extension measures how each failure mode
+degrades the self-tuning error:
+
+* **counter noise** — the perf/dstat noise level is scaled up and the
+  unknown applications re-profiled;
+* **forced misclassification** — each application's class tag is
+  replaced by an adjacent class with some probability (the classifier's
+  realistic error mode: H↔C and H↔I confusions).
+
+Reported as mean EDP error vs. the COLAO oracle per condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.features import PROFILING_CONFIG
+from repro.core.stp import AppDescriptor, SelfTuningPredictor
+from repro.hardware.node import ATOM_C2758, NodeSpec
+from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
+from repro.model.costmodel import pair_metrics
+from repro.model.sweep import sweep_pair
+from repro.telemetry.dstat import DstatMonitor, average_rows
+from repro.telemetry.perf import PerfSampler
+from repro.utils.rng import rng_from
+from repro.utils.tables import render_table
+from repro.utils.units import MB
+from repro.workloads.base import AppClass, AppInstance
+from repro.workloads.registry import TESTING_APPS, instances_for
+
+#: Adjacent-class confusion map (the realistic error mode).
+_ADJACENT = {
+    AppClass.COMPUTE: AppClass.HYBRID,
+    AppClass.HYBRID: AppClass.COMPUTE,
+    AppClass.IO: AppClass.HYBRID,
+    AppClass.MEMORY: AppClass.HYBRID,
+}
+
+
+def _noisy_descriptor(
+    instance: AppInstance,
+    noise_scale: float,
+    *,
+    node: NodeSpec,
+    constants: SimConstants,
+    seed: int,
+) -> AppDescriptor:
+    """Profile with scaled-up measurement noise."""
+    perf = PerfSampler(node, constants=constants, noise_sigma=0.15 * noise_scale)
+    dstat = DstatMonitor(node, constants=constants, noise_sigma=0.03 * noise_scale)
+    cfg = PROFILING_CONFIG
+    report = perf.sample(
+        instance, cfg.frequency, cfg.block_size, cfg.n_mappers, seed=seed
+    )
+    rows = dstat.sample_run(
+        instance, cfg.frequency, cfg.block_size, cfg.n_mappers, seed=seed + 1
+    )
+    avg = average_rows(rows)
+    feats = {
+        "cpu_user": avg["cpu_user"],
+        "cpu_sys": avg["cpu_sys"],
+        "cpu_idle": avg["cpu_idle"],
+        "cpu_iowait": avg["cpu_iowait"],
+        "io_read_mbps": avg["io_read_bps"] / MB,
+        "io_write_mbps": avg["io_write_bps"] / MB,
+        "mem_footprint_mb": avg["mem_footprint_bytes"] / MB,
+        "mem_cache_mb": avg["mem_cache_bytes"] / MB,
+        "ipc": report.ipc,
+        "icache_mpki": report.mpki("L1-icache-load-misses"),
+        "dcache_mpki": report.mpki("L1-dcache-load-misses"),
+        "llc_mpki": report.mpki("LLC-load-misses"),
+        "branch_mpki": report.mpki("branch-misses"),
+        "ctx_switch_rate": report.counts["context-switches"] / report.duration_s,
+    }
+    return AppDescriptor(
+        features=feats, app_class=instance.app_class, data_bytes=instance.data_bytes
+    )
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Mean STP error (%) per injected condition."""
+
+    conditions: tuple[str, ...]
+    mean_error: dict[str, float]
+    n_pairs: int
+
+    def render(self) -> str:
+        rows = [[c, self.mean_error[c]] for c in self.conditions]
+        return render_table(
+            ["condition", "mean EDP err % vs COLAO"],
+            rows,
+            title=(
+                f"Robustness extension — STP error under injected faults "
+                f"({self.n_pairs} unknown pairs)"
+            ),
+            floatfmt=".2f",
+        )
+
+
+def run_robustness(
+    stp: SelfTuningPredictor,
+    *,
+    noise_scales: Sequence[float] = (1.0, 4.0, 10.0),
+    misclassify_probs: Sequence[float] = (0.0, 0.5, 1.0),
+    max_pairs: int = 30,
+    node: NodeSpec = ATOM_C2758,
+    constants: SimConstants = DEFAULT_CONSTANTS,
+    seed: int = 0,
+) -> RobustnessReport:
+    """Measure STP error under noise / misclassification injections."""
+    rng = rng_from(seed)
+    testing = instances_for(TESTING_APPS)
+    pairs = list(combinations(testing, 2))
+    idx = rng.choice(len(pairs), size=min(max_pairs, len(pairs)), replace=False)
+    pairs = [pairs[i] for i in sorted(idx)]
+
+    def score(make_desc) -> float:
+        errors = []
+        for a, b in pairs:
+            sweep = sweep_pair(a, b, node=node, constants=constants)
+            da, db = make_desc(a), make_desc(b)
+            cfg_a, cfg_b = stp.predict_configs(da, db)
+            pm = pair_metrics(
+                a.profile, a.data_bytes,
+                cfg_a.frequency, cfg_a.block_size, cfg_a.n_mappers,
+                b.profile, b.data_bytes,
+                cfg_b.frequency, cfg_b.block_size, cfg_b.n_mappers,
+                node=node, constants=constants,
+            )
+            errors.append((float(pm.edp) - sweep.best_edp) / sweep.best_edp * 100.0)
+        return float(np.mean(errors))
+
+    conditions: list[str] = []
+    mean_error: dict[str, float] = {}
+
+    for scale in noise_scales:
+        name = f"counter noise x{scale:g}"
+        conditions.append(name)
+        mean_error[name] = score(
+            lambda inst, s=scale: _noisy_descriptor(
+                inst, s, node=node, constants=constants, seed=seed
+            )
+        )
+
+    for prob in misclassify_probs:
+        name = f"misclassify p={prob:g}"
+        conditions.append(name)
+        flip_rng = rng_from(seed + 99)
+
+        def make(inst, p=prob, r=flip_rng):
+            d = _noisy_descriptor(inst, 1.0, node=node, constants=constants, seed=seed)
+            cls = d.app_class
+            if r.random() < p:
+                cls = _ADJACENT[cls]
+            return AppDescriptor(
+                features=d.features, app_class=cls, data_bytes=d.data_bytes
+            )
+
+        mean_error[name] = score(make)
+
+    return RobustnessReport(
+        conditions=tuple(conditions), mean_error=mean_error, n_pairs=len(pairs)
+    )

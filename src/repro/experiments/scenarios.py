@@ -1,0 +1,76 @@
+"""Table 3: the eight studied workload scenarios (§8).
+
+Each scenario is 16 applications, transcribed verbatim from the
+paper's Table 3.  Class tags are the paper's (first row of the table);
+the reproduction's profiles give each listed application the same
+class, so the tags are re-derivable — a test asserts that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.utils.units import GB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import get_app
+
+#: Scenario name → (class tags, application codes), from Table 3.
+WORKLOAD_SCENARIOS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "WS1": (
+        tuple("CCCCCCCCCCCCCCCC"),
+        ("svm", "svm", "wc", "wc", "svm", "wc", "hmm", "wc",
+         "hmm", "hmm", "wc", "wc", "hmm", "wc", "svm", "wc"),
+    ),
+    "WS2": (
+        tuple("HHHHHHHHHHHHHHHH"),
+        ("ts", "gp", "ts", "ts", "ts", "gp", "ts", "ts",
+         "ts", "gp", "ts", "ts", "ts", "gp", "ts", "ts"),
+    ),
+    "WS3": (
+        tuple("IIIIIIIIIIIIIIII"),
+        ("st",) * 16,
+    ),
+    "WS4": (
+        tuple("CCHICCHICCHICCHI"),
+        ("svm", "wc", "ts", "st", "wc", "wc", "ts", "st",
+         "hmm", "svm", "ts", "st", "wc", "wc", "ts", "st"),
+    ),
+    "WS5": (
+        tuple("CHIHCHIHCHIHCHIH"),
+        ("hmm", "ts", "st", "ts", "wc", "ts", "st", "ts",
+         "svm", "ts", "st", "ts", "hmm", "ts", "st", "ts"),
+    ),
+    "WS6": (
+        tuple("HIHIHHIIHIHIHIHI"),
+        ("ts", "st", "ts", "st", "ts", "ts", "st", "st",
+         "ts", "st", "ts", "st", "ts", "st", "ts", "st"),
+    ),
+    "WS7": (
+        tuple("MMMIMMMIMMMMMMMI"),
+        ("cf", "cf", "cf", "st", "cf", "cf", "cf", "st",
+         "cf", "cf", "cf", "cf", "cf", "cf", "cf", "st"),
+    ),
+    "WS8": (
+        tuple("MMHIMMHICCHICCHI"),
+        ("cf", "fp", "ts", "st", "cf", "fp", "ts", "st",
+         "hmm", "svm", "ts", "st", "wc", "wc", "ts", "st"),
+    ),
+}
+
+
+def scenario_instances(
+    name: str, *, data_bytes: int = 5 * GB
+) -> list[AppInstance]:
+    """The 16 instances of one scenario at a common input size."""
+    try:
+        _tags, codes = WORKLOAD_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; valid: {', '.join(WORKLOAD_SCENARIOS)}"
+        ) from None
+    return [AppInstance(get_app(c), data_bytes) for c in codes]
+
+
+def scenario_classes(name: str) -> Sequence[str]:
+    """The paper's class tags for a scenario."""
+    return WORKLOAD_SCENARIOS[name][0]

@@ -1,0 +1,33 @@
+"""Cluster specification: N homogeneous nodes.
+
+The paper evaluates scalability on 1-, 2-, 4- and 8-node clusters of
+identical Atom microservers (§8).  Data is distributed per node (a
+"10 GB" run means 10 GB of input *per node*, §2.3), so cluster-level
+execution parallelises a job across nodes with per-node input shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.node import ATOM_C2758, NodeSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of microserver nodes."""
+
+    n_nodes: int = 8
+    node: NodeSpec = field(default_factory=lambda: ATOM_C2758)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.node.n_cores
+
+    def subcluster(self, n_nodes: int) -> "ClusterSpec":
+        """A cluster of the same node type with ``n_nodes`` nodes."""
+        return ClusterSpec(n_nodes=n_nodes, node=self.node)

@@ -1,0 +1,111 @@
+"""Local-disk model: sequential efficiency, stream sharing, seeks.
+
+HDFS reads and writes are large and mostly sequential within a block,
+so the dominant effects are:
+
+* **Transfer-size efficiency.**  A stream reading in chunks of ``s``
+  bytes achieves ``peak · s / (s + s_half)`` — a saturating curve where
+  ``s_half`` is the chunk size at which half the peak is reached.  HDFS
+  block size sets the contiguous extent, so larger blocks read faster
+  per byte.  This is one of the two reasons block size matters (the
+  other being task-scheduling overhead, modelled in the engine).
+
+* **Stream interleaving.**  ``k`` concurrent streams force head
+  movement between extents; aggregate bandwidth degrades by
+  ``1 / (1 + seek_penalty · (k - 1))``.
+
+* **Fluid sharing.**  Like memory bandwidth, the (possibly degraded)
+  aggregate bandwidth is split across demanding streams proportionally.
+
+Defaults approximate a 7.2k-rpm SATA disk of the paper's era.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.units import MB
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Single local disk shared by all tasks on the node."""
+
+    peak_bw: float = 180.0 * MB  # bytes/s sequential
+    half_extent: float = 12.0 * MB  # extent size achieving half of peak
+    seek_penalty: float = 0.05  # per extra concurrent stream
+
+    def __post_init__(self) -> None:
+        check_positive("peak_bw", self.peak_bw)
+        check_positive("half_extent", self.half_extent)
+        check_probability("seek_penalty", self.seek_penalty)
+
+    def sequential_efficiency(self, extent_bytes) -> np.ndarray:
+        """Fraction of peak bandwidth achieved for a contiguous extent."""
+        extent = np.asarray(extent_bytes, dtype=float)
+        if np.any(extent <= 0):
+            raise ValueError("extent_bytes must be positive")
+        return extent / (extent + self.half_extent)
+
+    def aggregate_bw(self, n_streams, extent_bytes) -> np.ndarray:
+        """Total deliverable bandwidth with ``n_streams`` concurrent streams.
+
+        ``extent_bytes`` is the effective contiguous extent per stream
+        (the HDFS block size for map input).  With zero streams the
+        disk delivers nothing.  Broadcasts over arrays.
+        """
+        k = np.asarray(n_streams, dtype=float)
+        if np.any(k < 0):
+            raise ValueError("n_streams must be non-negative")
+        eff = self.sequential_efficiency(extent_bytes)
+        interleave = 1.0 / (1.0 + self.seek_penalty * np.maximum(k - 1.0, 0.0))
+        return np.where(k > 0, self.peak_bw * eff * interleave, 0.0)
+
+    def share(self, demands: Sequence[float] | np.ndarray, extent_bytes) -> np.ndarray:
+        """Per-stream achieved bandwidth given demands (bytes/s).
+
+        Streams never receive more than they demand; leftover bandwidth
+        from under-demanding streams is redistributed to saturated ones
+        (max-min fairness, solved by the standard water-filling loop).
+        """
+        d = np.asarray(demands, dtype=float)
+        if d.ndim != 1:
+            raise ValueError("share() expects a 1-D demand vector")
+        if np.any(d < 0):
+            raise ValueError("demands must be non-negative")
+        active = d > 0
+        k = int(active.sum())
+        if k == 0:
+            return np.zeros_like(d)
+        capacity = float(self.aggregate_bw(k, extent_bytes))
+        alloc = np.zeros_like(d)
+        remaining = capacity
+        todo = list(np.flatnonzero(active))
+        # Water-filling: satisfy the smallest demands first.
+        todo.sort(key=lambda i: d[i])
+        while todo:
+            fair = remaining / len(todo)
+            i = todo[0]
+            if d[i] <= fair:
+                alloc[i] = d[i]
+                remaining -= d[i]
+                todo.pop(0)
+            else:
+                for j in todo:
+                    alloc[j] = fair
+                todo.clear()
+        return alloc
+
+    def utilization(self, demands: Sequence[float] | np.ndarray, extent_bytes) -> float:
+        """Disk utilisation in [0, 1] for a demand vector."""
+        d = np.asarray(demands, dtype=float)
+        active = d > 0
+        k = int(active.sum())
+        if k == 0:
+            return 0.0
+        capacity = float(self.aggregate_bw(k, extent_bytes))
+        return float(min(d.sum() / capacity, 1.0))

@@ -1,0 +1,88 @@
+"""DVFS governors: how an *untuned* node picks its frequency.
+
+ECoST sets the frequency explicitly; everything it is compared against
+runs whatever the platform's governor chooses.  This module models the
+three classic cpufreq governors so the untuned baselines' frequency
+assumption (§8's [NT] policies) is an explicit, testable decision
+rather than a constant:
+
+* ``powersave`` — always the lowest operating point (the shipping
+  default on many microserver boards, and our [NT] baseline);
+* ``performance`` — always the highest;
+* ``ondemand`` — steps up to the maximum when utilisation crosses the
+  up-threshold, decays one step when it falls below the down
+  threshold (the classic Linux heuristic).
+
+The governor consumes the utilisation a job would have at the
+governor's current frequency, which is how the real feedback loop
+works (a busier core requests a higher clock, which lowers measured
+utilisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.frequency import DvfsTable
+from repro.utils.validation import check_in, check_probability
+
+GOVERNOR_KINDS = ("powersave", "performance", "ondemand")
+
+
+@dataclass
+class DvfsGovernor:
+    """A per-node frequency governor over a discrete DVFS table."""
+
+    kind: str = "ondemand"
+    dvfs: DvfsTable = field(default_factory=DvfsTable)
+    up_threshold: float = 0.80
+    down_threshold: float = 0.30
+    _level: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        check_in("kind", self.kind, GOVERNOR_KINDS)
+        check_probability("up_threshold", self.up_threshold)
+        check_probability("down_threshold", self.down_threshold)
+        if self.down_threshold >= self.up_threshold:
+            raise ValueError("down_threshold must be below up_threshold")
+        if self.kind == "performance":
+            self._level = len(self.dvfs.levels) - 1
+        else:
+            self._level = 0
+
+    @property
+    def frequency(self) -> float:
+        """The currently selected frequency (Hz)."""
+        return self.dvfs.levels[self._level].frequency
+
+    def observe(self, utilization: float) -> float:
+        """Feed one utilisation sample; returns the (new) frequency.
+
+        ``powersave``/``performance`` are static; ``ondemand`` jumps to
+        the top on load (the Linux heuristic jumps, it does not step
+        up) and steps down one level at a time when idle.
+        """
+        check_probability("utilization", utilization)
+        if self.kind == "ondemand":
+            if utilization >= self.up_threshold:
+                self._level = len(self.dvfs.levels) - 1
+            elif utilization <= self.down_threshold and self._level > 0:
+                self._level -= 1
+        return self.frequency
+
+    def settle(self, utilization: float, *, max_steps: int = 16) -> float:
+        """Iterate :meth:`observe` to the governor's fixed point.
+
+        ``utilization`` is the demand at the *maximum* frequency; at a
+        lower clock the same work keeps the core busier by the
+        frequency ratio, which is the feedback the loop models.
+        """
+        check_probability("utilization", utilization)
+        f_max = self.dvfs.max_point.frequency
+        for _ in range(max_steps):
+            before = self._level
+            seen = min(utilization * f_max / self.frequency, 1.0)
+            self.observe(seen)
+            if self._level == before:
+                break
+        return self.frequency

@@ -1,0 +1,55 @@
+"""DRAM bandwidth sharing model.
+
+The node has one DDR3-1600 channel (12.8 GB/s peak; ~10 GB/s achievable
+with realistic access streams).  Bandwidth is a *fluid* resource: when
+the co-scheduled tasks' aggregate demand exceeds the achievable
+bandwidth, every consumer is throttled by the same factor (memory
+controllers arbitrate roughly fairly between cores at equal priority).
+
+This is the mechanism that makes memory-bound (M) applications poor
+co-location partners in the reproduction: two M apps oversubscribe the
+channel and both slow down, matching Fig. 5's ranking where M-X pairs
+come last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.units import GB
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MemoryBandwidthModel:
+    """Fluid-shared memory channel."""
+
+    achievable_bw: float = 10.0 * GB  # bytes/s
+
+    def __post_init__(self) -> None:
+        check_positive("achievable_bw", self.achievable_bw)
+
+    def throttle_factor(self, demands: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Per-consumer rate multiplier given bandwidth demands (bytes/s).
+
+        Returns 1.0 for every consumer when total demand fits, else
+        ``capacity / total_demand`` for all (proportional fair share).
+        Broadcasts: ``demands`` may be an array whose last axis indexes
+        consumers, enabling vectorised sweep evaluation.
+        """
+        d = np.asarray(demands, dtype=float)
+        if np.any(d < 0):
+            raise ValueError("demands must be non-negative")
+        total = d.sum(axis=-1, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            factor = np.where(total > self.achievable_bw, self.achievable_bw / np.where(total > 0, total, 1.0), 1.0)
+        return np.broadcast_to(factor, d.shape).copy()
+
+    def utilization(self, demands: Sequence[float] | np.ndarray) -> float | np.ndarray:
+        """Channel utilisation in [0, 1] given raw demands."""
+        d = np.asarray(demands, dtype=float)
+        total = d.sum(axis=-1)
+        return np.minimum(total / self.achievable_bw, 1.0)

@@ -1,0 +1,74 @@
+"""Node specification: the composition of all per-node component models.
+
+A :class:`NodeSpec` is immutable and shared by every layer — the
+discrete-event engine, the closed-form cost model, and the telemetry
+samplers all consult the same spec, which is what keeps the fast sweep
+path and the detailed simulation consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cache import SharedCacheModel
+from repro.hardware.cpu import CoreModel
+from repro.hardware.disk import DiskModel
+from repro.hardware.frequency import DvfsTable
+from repro.hardware.memorybw import MemoryBandwidthModel
+from repro.hardware.power import PowerModel
+from repro.utils.units import GB, MB
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One microserver node.
+
+    Defaults model the paper's Intel Atom C2758 testbed node: 8 cores,
+    8 GB DDR3-1600, 4 MB shared L2, one local SATA disk (§2.1).
+    """
+
+    name: str = "atom-c2758"
+    n_cores: int = 8
+    memory_bytes: float = 8 * GB
+    #: Memory held by the OS, JVM daemons and HDFS datanode.
+    reserved_memory_bytes: float = 1.5 * GB
+    #: Node NIC bandwidth (1 GbE), bytes/s — carries remote shuffle.
+    nic_bw: float = 119 * MB
+    core: CoreModel = field(default_factory=CoreModel)
+    cache: SharedCacheModel = field(default_factory=SharedCacheModel)
+    membw: MemoryBandwidthModel = field(default_factory=MemoryBandwidthModel)
+    disk: DiskModel = field(default_factory=DiskModel)
+    power: PowerModel = field(default_factory=PowerModel)
+    dvfs: DvfsTable = field(default_factory=DvfsTable)
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {self.n_cores}")
+        check_positive("memory_bytes", self.memory_bytes)
+        check_positive("reserved_memory_bytes", self.reserved_memory_bytes, strict=False)
+        if self.reserved_memory_bytes >= self.memory_bytes:
+            raise ValueError("reserved memory exceeds node memory")
+        check_positive("nic_bw", self.nic_bw)
+
+    @property
+    def available_memory_bytes(self) -> float:
+        """Memory available to MapReduce tasks (total minus reserved)."""
+        return self.memory_bytes - self.reserved_memory_bytes
+
+    @property
+    def frequencies(self) -> tuple[float, ...]:
+        """Valid DVFS frequencies (Hz, ascending)."""
+        return self.dvfs.frequencies
+
+    def validate_mappers(self, n_mappers: int) -> int:
+        """Check a mapper count fits the node's cores."""
+        if not 1 <= n_mappers <= self.n_cores:
+            raise ValueError(
+                f"n_mappers must be in [1, {self.n_cores}], got {n_mappers}"
+            )
+        return n_mappers
+
+
+#: The paper's testbed node.
+ATOM_C2758 = NodeSpec()

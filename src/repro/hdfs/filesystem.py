@@ -1,0 +1,95 @@
+"""MiniHdfs: the file-level facade over namenode/datanodes.
+
+Supports writing (placing) files, listing their blocks, computing the
+input splits MapReduce will create, and deleting files.  The paper's
+methodology flushes page caches before each run (§2.1), so we expose
+:meth:`drop_caches` as an explicit (no-op placeholder for state) hook
+the engine calls to model cold reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdfs.blocks import Block, split_file, validate_block_size
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class HdfsFile:
+    """Metadata of one stored file."""
+
+    name: str
+    size: int
+    block_size: int
+    blocks: tuple[Block, ...]
+
+
+@dataclass
+class MiniHdfs:
+    """A minimal but real HDFS: files → blocks → replicated placement."""
+
+    n_nodes: int = 8
+    replication: int = 3
+    namenode: NameNode = field(init=False)
+    _files: dict[str, HdfsFile] = field(default_factory=dict, repr=False)
+    _cold: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        datanodes = [DataNode(node_id=i) for i in range(self.n_nodes)]
+        self.namenode = NameNode(datanodes=datanodes, replication=self.replication)
+
+    def write_file(
+        self, name: str, size: int, block_size: int, *, writer_node: int = 0
+    ) -> HdfsFile:
+        """Create a file of ``size`` bytes with the given block size."""
+        if name in self._files:
+            raise FileExistsError(f"HDFS file {name!r} already exists")
+        check_positive("size", size)
+        validate_block_size(block_size)
+        blocks = split_file(name, size, block_size)
+        for i, block in enumerate(blocks):
+            # Round-robin the writer across nodes so large files spread
+            # evenly, as a distributed TeraGen/producer job would.
+            self.namenode.place_block(block, (writer_node + i) % self.n_nodes)
+        f = HdfsFile(name=name, size=size, block_size=block_size, blocks=tuple(blocks))
+        self._files[name] = f
+        return f
+
+    def get_file(self, name: str) -> HdfsFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no HDFS file {name!r}") from None
+
+    def delete_file(self, name: str) -> None:
+        f = self.get_file(name)
+        for block in f.blocks:
+            self.namenode.delete_block(block.block_id)
+        del self._files[name]
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    def splits_for(self, name: str) -> list[Block]:
+        """Input splits for a MapReduce job over ``name`` (1 per block)."""
+        return list(self.get_file(name).blocks)
+
+    def splits_on_node(self, name: str, node_id: int) -> list[Block]:
+        """The file's blocks with a local replica on ``node_id``."""
+        return [
+            b for b in self.get_file(name).blocks
+            if self.namenode.is_local(b.block_id, node_id)
+        ]
+
+    def drop_caches(self) -> None:
+        """Model the paper's pre-run page-cache flush (§2.1)."""
+        self._cold = True
+
+    @property
+    def cold_read(self) -> bool:
+        return self._cold

@@ -1,0 +1,78 @@
+"""NameNode: block placement, replication and locality metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hdfs.blocks import Block
+from repro.hdfs.datanode import DataNode
+
+
+@dataclass
+class NameNode:
+    """Placement and lookup authority for the mini-HDFS.
+
+    Placement policy: the first replica goes to the writer's node
+    (write affinity, as in real HDFS), the remaining replicas
+    round-robin across other nodes.  With single-node clusters the
+    effective replication is capped at the node count.
+    """
+
+    datanodes: list[DataNode]
+    replication: int = 3
+    _placement: dict[str, list[int]] = field(default_factory=dict, repr=False)
+    _rr_cursor: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.datanodes:
+            raise ValueError("namenode needs at least one datanode")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.datanodes)
+
+    def effective_replication(self) -> int:
+        return min(self.replication, self.n_nodes)
+
+    def place_block(self, block: Block, writer_node: int) -> list[int]:
+        """Choose replica nodes for ``block`` and store the replicas."""
+        if not 0 <= writer_node < self.n_nodes:
+            raise ValueError(f"writer_node {writer_node} out of range")
+        if block.block_id in self._placement:
+            raise ValueError(f"block {block.block_id} already placed")
+        targets = [writer_node]
+        while len(targets) < self.effective_replication():
+            candidate = self._rr_cursor % self.n_nodes
+            self._rr_cursor += 1
+            if candidate not in targets:
+                targets.append(candidate)
+        for node_id in targets:
+            self.datanodes[node_id].store(block)
+        self._placement[block.block_id] = targets
+        return list(targets)
+
+    def locate(self, block_id: str) -> list[int]:
+        """Replica node ids for a block."""
+        try:
+            return list(self._placement[block_id])
+        except KeyError:
+            raise KeyError(f"unknown block {block_id}") from None
+
+    def is_local(self, block_id: str, node_id: int) -> bool:
+        """Whether a block has a replica on ``node_id`` (task locality)."""
+        return node_id in self.locate(block_id)
+
+    def delete_block(self, block_id: str) -> None:
+        """Drop every replica of a block."""
+        for node_id in self.locate(block_id):
+            self.datanodes[node_id].drop(block_id)
+        del self._placement[block_id]
+
+    def locality_fraction(self, block_ids: list[str], node_id: int) -> float:
+        """Fraction of the given blocks readable locally from ``node_id``."""
+        if not block_ids:
+            return 1.0
+        local = sum(1 for b in block_ids if self.is_local(b, node_id))
+        return local / len(block_ids)

@@ -1,0 +1,478 @@
+"""Discrete-event timing engine for MapReduce jobs on microservers.
+
+Execution model
+---------------
+Each running job is a *fluid activity*: the shared cost kernel
+(:func:`repro.model.costmodel.standalone_metrics`) gives its standalone
+duration and resource-demand profile under the current co-location
+context (LLC module sharing, footprint overcommit, disk stream count).
+Co-resident jobs all progress at rate ``1/stretch`` where ``stretch``
+is the fluid oversubscription factor of
+:func:`repro.model.costmodel.fluid_stretch`.
+
+Whenever the running set of a node changes (submit/finish), every
+affected job's context is re-evaluated and its remaining work is
+carried over as a *fraction* of the new standalone duration — work is
+conserved exactly across context switches.  Between events the node is
+in a fixed configuration, and the engine records one
+:class:`IntervalRecord` per such segment: the time-resolved power and
+utilisation trace the telemetry samplers (perf/dstat/Wattsup) consume.
+
+The closed-form :func:`~repro.model.costmodel.pair_metrics` is this
+engine's two-job special case, up to one documented approximation (the
+closed form keeps the co-location context during the tail segment; the
+engine re-evaluates it) — the consistency test-suite bounds the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.hardware.node import ATOM_C2758, NodeSpec
+from repro.mapreduce.events import EventQueue
+from repro.mapreduce.job import JobResult, JobSpec
+from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
+from repro.model.costmodel import (
+    JobMetrics,
+    colocation_context,
+    fluid_stretch,
+    standalone_metrics,
+)
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One constant-configuration segment of a node's execution."""
+
+    node_id: int
+    start: float
+    end: float
+    power_watts: float
+    stretch: float
+    job_ids: tuple[int, ...]
+    u_cpu_per_job: tuple[float, ...]  # per-core busy fraction of each job
+    u_disk: float  # node disk utilisation in the segment
+    u_net: float
+    u_mem: float
+    frequency_per_job: tuple[float, ...]
+    mappers_per_job: tuple[int, ...]
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class _Running:
+    spec: JobSpec
+    start_time: float
+    metrics: JobMetrics  # under the current context
+    remaining: float  # remaining standalone seconds under current context
+    energy: float = 0.0
+
+    @property
+    def fraction_left(self) -> float:
+        return self.remaining / float(np.asarray(self.metrics.duration))
+
+
+class NodeEngine:
+    """Event-driven simulation of one node."""
+
+    def __init__(
+        self,
+        node: NodeSpec = ATOM_C2758,
+        *,
+        node_id: int = 0,
+        constants: SimConstants = DEFAULT_CONSTANTS,
+    ) -> None:
+        self.node = node
+        self.node_id = node_id
+        self.constants = constants
+        self.running: list[_Running] = []
+        self.finished: list[JobResult] = []
+        self.intervals: list[IntervalRecord] = []
+        self._clock = 0.0
+        self._busy_energy = 0.0  # energy while >=1 job runs (above nothing)
+
+    # ----------------------------------------------------------- queries
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    @property
+    def used_cores(self) -> int:
+        return sum(r.spec.config.n_mappers for r in self.running)
+
+    @property
+    def free_cores(self) -> int:
+        return self.node.n_cores - self.used_cores
+
+    def can_fit(self, spec: JobSpec) -> bool:
+        return spec.config.n_mappers <= self.free_cores
+
+    @property
+    def stretch(self) -> float:
+        return fluid_stretch([r.metrics for r in self.running], self.node)
+
+    def next_completion(self) -> Optional[tuple[float, JobSpec]]:
+        """(absolute time, spec) of the earliest-finishing running job."""
+        if not self.running:
+            return None
+        s = self.stretch
+        best = min(self.running, key=lambda r: r.remaining)
+        return self._clock + best.remaining * s, best.spec
+
+    # ---------------------------------------------------------- dynamics
+    def _recontext(self) -> None:
+        """Re-evaluate every running job under the current running set."""
+        if not self.running:
+            return
+        ctx = colocation_context(
+            [r.spec.instance.profile for r in self.running],
+            [float(r.spec.config.n_mappers) for r in self.running],
+            node=self.node,
+            constants=self.constants,
+        )
+        for i, r in enumerate(self.running):
+            frac_left = r.fraction_left
+            cfg = r.spec.config
+            metrics = standalone_metrics(
+                r.spec.instance.profile,
+                r.spec.instance.data_bytes,
+                cfg.frequency,
+                cfg.block_size,
+                cfg.n_mappers,
+                node=self.node,
+                constants=self.constants,
+                mpki_scale=float(ctx.mpki_scale[i]),
+                disk_traffic_scale=float(ctx.disk_traffic_scale[i]),
+                extra_streams=float(ctx.extra_streams[i]),
+                remote_fraction=r.spec.remote_fraction,
+            )
+            r.metrics = metrics
+            r.remaining = frac_left * float(np.asarray(metrics.duration))
+
+    def _segment_power(self) -> tuple[float, float, float, float]:
+        """(node watts, u_disk, u_net, u_mem) for the current segment."""
+        pm = self.node.power
+        s = self.stretch
+        if not self.running:
+            return pm.idle_power, 0.0, 0.0, 0.0
+        core = sum(float(np.asarray(r.metrics.core_power)) for r in self.running) / s
+        u_disk = min(
+            sum(float(np.asarray(r.metrics.u_disk)) for r in self.running) / s, 1.0
+        )
+        u_net = min(
+            sum(float(np.asarray(r.metrics.u_net)) for r in self.running) / s, 1.0
+        )
+        u_mem = min(
+            sum(float(np.asarray(r.metrics.mem_demand)) for r in self.running)
+            / s
+            / self.node.membw.achievable_bw,
+            1.0,
+        )
+        watts = (
+            pm.idle_power
+            + core
+            + pm.mem_max_power * u_mem
+            + pm.disk_max_power * u_disk
+        )
+        return watts, u_disk, u_net, u_mem
+
+    def advance_to(self, t: float) -> None:
+        """Progress all running jobs to absolute time ``t``.
+
+        ``t`` must not cross a completion (the caller — :meth:`step` or
+        :class:`ClusterEngine` — always advances event to event).
+        """
+        if t < self._clock - 1e-9:
+            raise ValueError(f"time moves backwards: {t} < {self._clock}")
+        dt = t - self._clock
+        if dt <= 0:
+            self._clock = max(self._clock, t)
+            return
+        watts, u_disk, u_net, u_mem = self._segment_power()
+        s = self.stretch
+        if self.running:
+            self.intervals.append(
+                IntervalRecord(
+                    node_id=self.node_id,
+                    start=self._clock,
+                    end=t,
+                    power_watts=watts,
+                    stretch=s,
+                    job_ids=tuple(r.spec.job_id for r in self.running),
+                    u_cpu_per_job=tuple(
+                        float(np.asarray(r.metrics.u_cpu)) / s for r in self.running
+                    ),
+                    u_disk=u_disk,
+                    u_net=u_net,
+                    u_mem=u_mem,
+                    frequency_per_job=tuple(
+                        r.spec.config.frequency for r in self.running
+                    ),
+                    mappers_per_job=tuple(
+                        r.spec.config.n_mappers for r in self.running
+                    ),
+                )
+            )
+            progress = dt / s
+            share = watts * dt / len(self.running)
+            for r in self.running:
+                r.remaining -= progress
+                if r.remaining < -1e-6 * max(1.0, progress):
+                    raise RuntimeError(
+                        f"job {r.spec.label} overshot completion by {-r.remaining}s"
+                    )
+                r.remaining = max(r.remaining, 0.0)
+                r.energy += share
+            self._busy_energy += watts * dt
+        self._clock = t
+
+    def submit(self, spec: JobSpec, *, time: float | None = None) -> None:
+        """Start a job now (or at ``time`` ≥ now); it must fit."""
+        t = self._clock if time is None else time
+        self.advance_to(t)
+        if not self.can_fit(spec):
+            raise RuntimeError(
+                f"node {self.node_id} has {self.free_cores} free cores; "
+                f"{spec.label} needs {spec.config.n_mappers}"
+            )
+        spec.config.validate_for(self.node)
+        placeholder = standalone_metrics(
+            spec.instance.profile,
+            spec.instance.data_bytes,
+            spec.config.frequency,
+            spec.config.block_size,
+            spec.config.n_mappers,
+            node=self.node,
+            constants=self.constants,
+            remote_fraction=spec.remote_fraction,
+        )
+        self.running.append(
+            _Running(
+                spec=spec,
+                start_time=t,
+                metrics=placeholder,
+                remaining=float(np.asarray(placeholder.duration)),
+            )
+        )
+        self._recontext()
+
+    def _complete(self, r: _Running) -> JobResult:
+        result = JobResult(
+            spec=r.spec,
+            node_id=self.node_id,
+            start_time=r.start_time,
+            finish_time=self._clock,
+            energy_joules=r.energy,
+        )
+        self.running.remove(r)
+        self.finished.append(result)
+        self._recontext()
+        return result
+
+    def step(self) -> Optional[JobResult]:
+        """Advance to the next completion and return it (None if idle)."""
+        nxt = self.next_completion()
+        if nxt is None:
+            return None
+        t, spec = nxt
+        self.advance_to(t)
+        r = next(x for x in self.running if x.spec.job_id == spec.job_id)
+        return self._complete(r)
+
+    def run_to_completion(self) -> list[JobResult]:
+        """Drain all running jobs; returns completions in time order."""
+        out = []
+        while self.running:
+            res = self.step()
+            assert res is not None
+            out.append(res)
+        return out
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        """Whole-node energy over [t0, t1], idle power when no job ran."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        busy = 0.0
+        covered = 0.0
+        for seg in self.intervals:
+            lo, hi = max(seg.start, t0), min(seg.end, t1)
+            if hi > lo:
+                busy += seg.power_watts * (hi - lo)
+                covered += hi - lo
+        idle_time = (t1 - t0) - covered
+        return busy + self.node.power.idle_power * idle_time
+
+
+SchedulerFn = Callable[["ClusterEngine", float], None]
+
+
+class ClusterEngine:
+    """N nodes plus an arrival queue and a pluggable scheduler.
+
+    The scheduler callback fires after every arrival and completion;
+    it inspects :attr:`pending` and places jobs with :meth:`place`.
+    The default scheduler is FIFO first-fit, which is what the
+    untuned mapping-policy baselines use; ECoST installs its own
+    (classification + pairing + self-tuning) scheduler.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int = 8,
+        node: NodeSpec = ATOM_C2758,
+        *,
+        constants: SimConstants = DEFAULT_CONSTANTS,
+        scheduler: SchedulerFn | None = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.nodes = [
+            NodeEngine(node, node_id=i, constants=constants) for i in range(n_nodes)
+        ]
+        self.constants = constants
+        self.pending: list[JobSpec] = []
+        self.results: list[JobResult] = []
+        self.scheduler: SchedulerFn = scheduler or fifo_first_fit
+        self._events = EventQueue()
+        self._clock = 0.0
+        self._group_sizes: dict[int, int] = {}
+        self._group_done: dict[int, int] = {}
+
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    def submit(self, spec: JobSpec) -> None:
+        """Enqueue an arrival at ``spec.submit_time``."""
+        self._events.schedule(spec.submit_time, ("arrival", spec))
+
+    def submit_distributed(self, specs: list[JobSpec]) -> None:
+        """Submit the parts of one multi-node job (shared group id)."""
+        gids = {s.group_id for s in specs}
+        if len(gids) != 1 or None in gids:
+            raise ValueError("distributed parts must share a non-None group_id")
+        gid = specs[0].group_id
+        assert gid is not None
+        self._group_sizes[gid] = len(specs)
+        self._group_done[gid] = 0
+        for s in specs:
+            self.submit(s)
+
+    def notify_at(self, t: float) -> None:
+        """Schedule a bare scheduler wake-up (external arrival hooks)."""
+        self._events.schedule(t, ("wake",))
+
+    def place(self, spec: JobSpec, node_id: int) -> None:
+        """Start a pending job on a node (scheduler API)."""
+        if spec not in self.pending:
+            raise ValueError(f"{spec.label} is not pending")
+        engine = self.nodes[node_id]
+        engine.advance_to(self._clock)
+        engine.submit(spec)
+        self.pending.remove(spec)
+        nxt = engine.next_completion()
+        assert nxt is not None
+        self._events.schedule(nxt[0], ("check", node_id))
+
+    def _sync_all(self, t: float) -> None:
+        for n in self.nodes:
+            n.advance_to(t)
+
+    def _handle(self, t: float, payload) -> None:
+        kind = payload[0]
+        self._clock = t
+        if kind == "wake":
+            self._sync_all(t)
+            self.scheduler(self, t)
+        elif kind == "arrival":
+            spec = payload[1]
+            self._sync_all(t)
+            self.pending.append(spec)
+            self.scheduler(self, t)
+        elif kind == "check":
+            node_id = payload[1]
+            engine = self.nodes[node_id]
+            nxt = engine.next_completion()
+            if nxt is None:
+                return
+            due, spec = nxt
+            if due > t + 1e-9:
+                # Context changed since this check was scheduled;
+                # re-arm for the new completion time.
+                self._events.schedule(due, ("check", node_id))
+                return
+            self._sync_all(t)
+            r = next(x for x in engine.running if x.spec.job_id == spec.job_id)
+            result = engine._complete(r)
+            self.results.append(result)
+            gid = result.spec.group_id
+            if gid is not None:
+                self._group_done[gid] += 1
+            if engine.running:
+                nxt2 = engine.next_completion()
+                assert nxt2 is not None
+                self._events.schedule(nxt2[0], ("check", node_id))
+            self.scheduler(self, t)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown event {kind!r}")
+
+    def run(self) -> list[JobResult]:
+        """Process all events; returns completions in time order."""
+        self._events.run(self._handle)
+        if self.pending or any(n.running for n in self.nodes):
+            raise RuntimeError(
+                "simulation stalled with unfinished jobs; "
+                "the scheduler never placed: "
+                + ", ".join(s.label for s in self.pending)
+            )
+        return self.results
+
+    # --------------------------------------------------------- accounting
+    @property
+    def makespan(self) -> float:
+        if not self.results:
+            return 0.0
+        return max(r.finish_time for r in self.results)
+
+    def group_finish_time(self, gid: int) -> float:
+        """Completion (barrier) time of a distributed job."""
+        parts = [r for r in self.results if r.spec.group_id == gid]
+        if len(parts) != self._group_sizes.get(gid):
+            raise ValueError(f"group {gid} has not completed")
+        return max(r.finish_time for r in parts)
+
+    def total_energy(self, horizon: float | None = None) -> float:
+        """Whole-cluster energy over [0, horizon] (default: makespan).
+
+        Idle nodes draw idle power for the entire horizon — exactly the
+        accounting a wall-power meter on every node would report.
+        """
+        h = self.makespan if horizon is None else horizon
+        return sum(n.energy_between(0.0, h) for n in self.nodes)
+
+    def edp(self) -> float:
+        """Cluster EDP of the completed workload: energy × makespan."""
+        t = self.makespan
+        return self.total_energy(t) * t
+
+
+def fifo_first_fit(cluster: ClusterEngine, t: float) -> None:
+    """Default scheduler: place pending jobs FIFO onto first fitting node."""
+    placed = True
+    while placed:
+        placed = False
+        for spec in list(cluster.pending):
+            for node in cluster.nodes:
+                if node.can_fit(spec):
+                    cluster.place(spec, node.node_id)
+                    placed = True
+                    break
+            else:
+                # Head-of-line blocking is intentional: FIFO order.
+                return

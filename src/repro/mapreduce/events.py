@@ -1,0 +1,81 @@
+"""Discrete-event core: a stable-order event queue.
+
+A minimal priority queue keyed on (time, sequence) so simultaneous
+events fire in insertion order — the property that keeps the simulator
+deterministic regardless of callback content.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    payload: Any = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """Time-ordered event queue with cancellation.
+
+    Events are arbitrary payloads; :meth:`pop` returns ``(time,
+    payload)`` in non-decreasing time order.  :meth:`schedule` returns
+    a handle that :meth:`cancel` invalidates lazily (the entry is
+    skipped when it surfaces), the standard heapq idiom.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Time of the last popped event (simulation clock)."""
+        return self._now
+
+    def schedule(self, time: float, payload: Any) -> _Entry:
+        if time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        entry = _Entry(time=float(time), seq=next(self._counter), payload=payload)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, handle: _Entry) -> None:
+        handle.cancelled = True
+
+    def pop(self) -> Optional[tuple[float, Any]]:
+        """Next live event, or ``None`` when the queue is exhausted."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            return entry.time, entry.payload
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def run(self, handler: Callable[[float, Any], None], *, until: float = float("inf")) -> None:
+        """Drain the queue through ``handler`` until empty or ``until``."""
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > until:
+                return
+            time, payload = self.pop()  # type: ignore[misc]
+            handler(time, payload)

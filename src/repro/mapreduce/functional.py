@@ -1,0 +1,140 @@
+"""In-memory MapReduce runtime with real Hadoop semantics.
+
+Executes an :class:`~repro.workloads.base.Application`'s actual
+mapper/combiner/reducer over record streams with the same dataflow as
+Hadoop: records are grouped into input splits, each split is mapped
+independently, map output is optionally combined per split, partitioned
+by key hash across reducers, each reducer processes its keys in sorted
+order, and the final output is the concatenation of reducer outputs.
+
+This layer is about *correctness* (the timing layer is
+:mod:`repro.mapreduce.engine`); it is what the examples and the
+functional test-suite run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.workloads.base import Application, KeyValue
+
+
+def _sort_key(key: object) -> tuple:
+    """Total order over heterogeneous keys (type name, then value)."""
+    return (type(key).__name__, repr(key) if isinstance(key, tuple) else key, repr(key))
+
+
+@dataclass(frozen=True)
+class JobOutput:
+    """Result of one functional MapReduce job."""
+
+    #: Per-reducer outputs, in reducer order; each sorted by key.
+    partitions: tuple[tuple[KeyValue, ...], ...]
+    n_map_tasks: int
+    n_input_records: int
+    n_intermediate_records: int
+
+    @property
+    def records(self) -> list[KeyValue]:
+        """All output records (reducer partitions concatenated)."""
+        return [kv for part in self.partitions for kv in part]
+
+    def as_dict(self) -> dict:
+        """Output as a key → value mapping (last write wins)."""
+        return dict(self.records)
+
+
+class MapReduceRuntime:
+    """Configurable local MapReduce executor."""
+
+    def __init__(
+        self,
+        *,
+        n_reducers: int = 2,
+        split_records: int = 1000,
+        use_combiner: bool = True,
+    ) -> None:
+        if n_reducers < 1:
+            raise ValueError("n_reducers must be >= 1")
+        if split_records < 1:
+            raise ValueError("split_records must be >= 1")
+        self.n_reducers = n_reducers
+        self.split_records = split_records
+        self.use_combiner = use_combiner
+
+    # ------------------------------------------------------------- stages
+    def make_splits(self, records: Iterable[KeyValue]) -> Iterator[list[KeyValue]]:
+        """Group the record stream into fixed-size input splits."""
+        split: list[KeyValue] = []
+        for kv in records:
+            split.append(kv)
+            if len(split) >= self.split_records:
+                yield split
+                split = []
+        if split:
+            yield split
+
+    def run_map_task(
+        self, app: Application, split: Sequence[KeyValue]
+    ) -> list[KeyValue]:
+        """Map one split, applying the combiner if enabled and valid."""
+        out: list[KeyValue] = []
+        for key, value in split:
+            out.extend(app.mapper(key, value))
+        if self.use_combiner and app.has_combiner:
+            grouped: dict[object, list[object]] = defaultdict(list)
+            for k, v in out:
+                grouped[k].append(v)
+            combined: list[KeyValue] = []
+            for k in grouped:
+                combined.extend(app.combiner(k, grouped[k]))
+            return combined
+        return out
+
+    def partition(self, key: object) -> int:
+        """Hash partitioner (deterministic across runs for common keys)."""
+        return hash(repr(key)) % self.n_reducers
+
+    def run_reduce_task(
+        self, app: Application, groups: dict[object, list[object]]
+    ) -> list[KeyValue]:
+        """Reduce one partition's groups in key-sorted order."""
+        out: list[KeyValue] = []
+        for key in sorted(groups, key=_sort_key):
+            out.extend(app.reducer(key, groups[key]))
+        return out
+
+    # --------------------------------------------------------------- job
+    def run(self, app: Application, records: Iterable[KeyValue]) -> JobOutput:
+        """Execute a full job over ``records``."""
+        shuffles: list[dict[object, list[object]]] = [
+            defaultdict(list) for _ in range(self.n_reducers)
+        ]
+        n_map_tasks = 0
+        n_input = 0
+        n_intermediate = 0
+        for split in self.make_splits(records):
+            n_map_tasks += 1
+            n_input += len(split)
+            for k, v in self.run_map_task(app, split):
+                n_intermediate += 1
+                shuffles[self.partition(k)][k].append(v)
+        partitions = tuple(
+            tuple(self.run_reduce_task(app, groups)) for groups in shuffles
+        )
+        return JobOutput(
+            partitions=partitions,
+            n_map_tasks=n_map_tasks,
+            n_input_records=n_input,
+            n_intermediate_records=n_intermediate,
+        )
+
+    def run_generated(
+        self, app: Application, n_records: int, *, seed: int = 0
+    ) -> JobOutput:
+        """Run over the application's own synthetic input generator."""
+        if n_records < 1:
+            raise ValueError("n_records must be >= 1")
+        return self.run(app, app.generate_records(n_records, seed=seed))

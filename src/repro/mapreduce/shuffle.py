@@ -1,0 +1,172 @@
+"""Shuffle machinery: map-side spill/sort and reduce-side merge.
+
+Hadoop's shuffle is an external sort: each map task buffers its
+output, sorts and *spills* segments when the buffer fills, and each
+reducer merges the sorted segments addressed to its partition.  This
+module implements the same dataflow in memory — bounded sort buffers,
+per-partition sorted spill segments, and a k-way heap merge — so the
+functional runtime exercises the real mechanics (and the spill counts
+feed the timing model's disk-traffic factors).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.workloads.base import KeyValue
+
+
+def sort_key(key: object) -> tuple:
+    """Total order over heterogeneous keys (shared with the runtime)."""
+    return (type(key).__name__, repr(key) if isinstance(key, tuple) else key, repr(key))
+
+
+@dataclass(frozen=True)
+class SpillSegment:
+    """One sorted run of map output for one partition."""
+
+    partition: int
+    records: tuple[KeyValue, ...]
+
+    def __post_init__(self) -> None:
+        keys = [sort_key(k) for k, _v in self.records]
+        if keys != sorted(keys):
+            raise ValueError("spill segment records must be key-sorted")
+
+    @property
+    def n_bytes_estimate(self) -> int:
+        """Rough serialized size (for spill accounting)."""
+        return sum(len(repr(k)) + len(repr(v)) for k, v in self.records)
+
+
+class MapOutputBuffer:
+    """Bounded map-side buffer that spills sorted partition runs.
+
+    Mirrors ``mapreduce.task.io.sort.mb``: once ``buffer_records``
+    accumulate, the buffer sorts per partition and emits one
+    :class:`SpillSegment` per non-empty partition.
+    """
+
+    def __init__(self, n_partitions: int, *, buffer_records: int = 1000) -> None:
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        if buffer_records < 1:
+            raise ValueError("buffer_records must be >= 1")
+        self.n_partitions = n_partitions
+        self.buffer_records = buffer_records
+        self._pending: list[list[KeyValue]] = [[] for _ in range(n_partitions)]
+        self._pending_count = 0
+        self.segments: list[SpillSegment] = []
+        self.n_spills = 0
+
+    def emit(self, partition: int, key: object, value: object) -> None:
+        if not 0 <= partition < self.n_partitions:
+            raise IndexError(f"partition {partition} out of range")
+        self._pending[partition].append((key, value))
+        self._pending_count += 1
+        if self._pending_count >= self.buffer_records:
+            self.spill()
+
+    def spill(self) -> None:
+        """Sort and freeze the current buffer contents."""
+        if self._pending_count == 0:
+            return
+        for p, records in enumerate(self._pending):
+            if records:
+                records.sort(key=lambda kv: sort_key(kv[0]))
+                self.segments.append(
+                    SpillSegment(partition=p, records=tuple(records))
+                )
+        self._pending = [[] for _ in range(self.n_partitions)]
+        self._pending_count = 0
+        self.n_spills += 1
+
+    def close(self) -> list[SpillSegment]:
+        """Final spill; returns all segments produced by this task."""
+        self.spill()
+        return list(self.segments)
+
+
+def merge_segments(segments: Sequence[SpillSegment]) -> Iterator[KeyValue]:
+    """K-way merge of sorted runs into one key-sorted stream.
+
+    All segments must belong to the same partition.  Stable: records
+    with equal keys appear in segment order then position order.
+    """
+    if not segments:
+        return
+    partitions = {s.partition for s in segments}
+    if len(partitions) != 1:
+        raise ValueError(f"segments span partitions {sorted(partitions)}")
+    heap: list[tuple[tuple, int, int]] = []
+    for si, seg in enumerate(segments):
+        if seg.records:
+            heap.append((sort_key(seg.records[0][0]), si, 0))
+    heapq.heapify(heap)
+    while heap:
+        _k, si, ri = heapq.heappop(heap)
+        yield segments[si].records[ri]
+        ri += 1
+        if ri < len(segments[si].records):
+            heapq.heappush(
+                heap, (sort_key(segments[si].records[ri][0]), si, ri)
+            )
+
+
+def group_sorted(stream: Iterable[KeyValue]) -> Iterator[tuple[object, list[object]]]:
+    """Group a key-sorted record stream into (key, values) runs.
+
+    This is the reducer's input iterator: one group per distinct key,
+    in sorted order, values in arrival order.
+    """
+    current_key: object = None
+    values: list[object] = []
+    have_key = False
+    for key, value in stream:
+        if have_key and sort_key(key) == sort_key(current_key):
+            values.append(value)
+        else:
+            if have_key:
+                yield current_key, values
+            current_key = key
+            values = [value]
+            have_key = True
+    if have_key:
+        yield current_key, values
+
+
+@dataclass
+class ShuffleService:
+    """Collects every map task's segments and serves reducers.
+
+    ``fetch(partition)`` merges all runs addressed to the partition —
+    the reduce-side merge phase — and reports how many segments (and
+    estimated bytes) crossed the shuffle, which the engine's traffic
+    factors model in time.
+    """
+
+    n_partitions: int
+    _segments: dict[int, list[SpillSegment]] = field(default_factory=dict)
+    total_segments: int = 0
+    total_bytes_estimate: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+
+    def register(self, segments: Iterable[SpillSegment]) -> None:
+        for seg in segments:
+            if not 0 <= seg.partition < self.n_partitions:
+                raise IndexError(f"partition {seg.partition} out of range")
+            self._segments.setdefault(seg.partition, []).append(seg)
+            self.total_segments += 1
+            self.total_bytes_estimate += seg.n_bytes_estimate
+
+    def fetch(self, partition: int) -> Iterator[tuple[object, list[object]]]:
+        """Merged, grouped input for one reducer."""
+        if not 0 <= partition < self.n_partitions:
+            raise IndexError(f"partition {partition} out of range")
+        segments = self._segments.get(partition, [])
+        return group_sorted(merge_segments(segments))

@@ -1,0 +1,47 @@
+"""Common regressor interface and input validation."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Regressor(Protocol):
+    """Minimal supervised-regression interface."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Regressor": ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+
+def check_Xy(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a training pair."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if X.shape[0] == 0:
+        raise ValueError("empty training set")
+    if not np.all(np.isfinite(X)) or not np.all(np.isfinite(y)):
+        raise ValueError("X and y must be finite")
+    return X, y
+
+
+def check_X(X, n_features: int) -> np.ndarray:
+    """Validate prediction input against the fitted feature count."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X[None, :]
+    if X.ndim != 2 or X.shape[1] != n_features:
+        raise ValueError(
+            f"X must be (n, {n_features}), got shape {X.shape}"
+        )
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X must be finite")
+    return X

@@ -1,0 +1,47 @@
+"""Ordinary least-squares linear regression (optionally ridge).
+
+The paper's weakest STP model: EDP responds multiplicatively to the
+tuning knobs, so a linear surface fits poorly — Table 1 reports ~55%
+APE for LR, and §9 discusses why linear prediction frameworks miss
+co-scheduled MapReduce behaviour.  Implemented via ``lstsq`` on the
+augmented design matrix (SVD-based, rank-robust), with an optional L2
+penalty solved in closed form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_X, check_Xy
+
+
+class LinearRegression:
+    """y ≈ X·w + b by least squares."""
+
+    def __init__(self, ridge: float = 0.0) -> None:
+        if ridge < 0:
+            raise ValueError("ridge must be >= 0")
+        self.ridge = ridge
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X, y = check_Xy(X, y)
+        n, d = X.shape
+        A = np.hstack([X, np.ones((n, 1))])
+        if self.ridge > 0:
+            # Closed-form ridge; the intercept is not penalised.
+            reg = self.ridge * np.eye(d + 1)
+            reg[-1, -1] = 0.0
+            w = np.linalg.solve(A.T @ A + reg, A.T @ y)
+        else:
+            w, *_ = np.linalg.lstsq(A, y, rcond=None)
+        self.coef_ = w[:-1]
+        self.intercept_ = float(w[-1])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None or self.intercept_ is None:
+            raise RuntimeError("model is not fitted")
+        X = check_X(X, self.coef_.shape[0])
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,79 @@
+"""Lookup-table model (the paper's LkT, §6.4).
+
+The simplest predictor: memorise training keys and their values, and
+answer queries with the value of the nearest stored key.  In ECoST the
+keys are (class-pair, data sizes) descriptors and the values the best
+known configurations; here the structure is generic so tests can
+exercise it on arbitrary data.
+
+Prediction is O(table size) with a vectorised distance computation —
+Fig. 8's point is precisely that this is trivially cheap next to MLP
+inference, while populating the table needs an exhaustive search.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Sequence, TypeVar
+
+import numpy as np
+
+V = TypeVar("V")
+
+
+class LookupTable(Generic[V]):
+    """Nearest-key memorisation with optional per-dimension scaling."""
+
+    def __init__(self, *, normalize: bool = True) -> None:
+        self.normalize = normalize
+        self._keys: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+        self._values: list[V] = []
+
+    def fit(self, keys: np.ndarray, values: Sequence[V]) -> "LookupTable[V]":
+        keys = np.asarray(keys, dtype=float)
+        if keys.ndim != 2:
+            raise ValueError("keys must be 2-D (entries × key dims)")
+        if keys.shape[0] != len(values):
+            raise ValueError("one value per key required")
+        if keys.shape[0] == 0:
+            raise ValueError("empty table")
+        self._keys = keys
+        self._values = list(values)
+        if self.normalize:
+            span = keys.max(axis=0) - keys.min(axis=0)
+            self._scale = np.where(span < 1e-12, 1.0, span)
+        else:
+            self._scale = np.ones(keys.shape[1])
+        return self
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def nearest_index(self, key: np.ndarray) -> int:
+        if self._keys is None or self._scale is None:
+            raise RuntimeError("table is not fitted")
+        key = np.asarray(key, dtype=float)
+        if key.shape != (self._keys.shape[1],):
+            raise ValueError(
+                f"key must have {self._keys.shape[1]} dims, got shape {key.shape}"
+            )
+        d = np.linalg.norm((self._keys - key) / self._scale, axis=1)
+        return int(np.argmin(d))
+
+    def lookup(self, key: np.ndarray) -> V:
+        """Value of the nearest stored key."""
+        return self._values[self.nearest_index(key)]
+
+    def lookup_many(self, keys: np.ndarray) -> list[V]:
+        keys = np.asarray(keys, dtype=float)
+        if keys.ndim == 1:
+            keys = keys[None, :]
+        return [self.lookup(k) for k in keys]
+
+    # Regressor-compatible facade for numeric values -------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        vals = self.lookup_many(np.asarray(X, dtype=float))
+        try:
+            return np.asarray(vals, dtype=float)
+        except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+            raise TypeError("predict() requires numeric table values") from exc

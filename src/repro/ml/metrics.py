@@ -1,0 +1,42 @@
+"""Regression metrics: the scores the paper's tables report."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(y_true, dtype=float)
+    p = np.asarray(y_pred, dtype=float)
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    if t.size == 0:
+        raise ValueError("empty arrays")
+    return t, p
+
+
+def mse(y_true, y_pred) -> float:
+    t, p = _pair(y_true, y_pred)
+    return float(((t - p) ** 2).mean())
+
+
+def mae(y_true, y_pred) -> float:
+    t, p = _pair(y_true, y_pred)
+    return float(np.abs(t - p).mean())
+
+
+def mean_ape(y_true, y_pred) -> float:
+    """Mean absolute percentage error — Table 1's APE (%)."""
+    t, p = _pair(y_true, y_pred)
+    if np.any(t == 0):
+        raise ValueError("APE undefined for zero targets")
+    return float((np.abs(t - p) / np.abs(t)).mean() * 100.0)
+
+
+def r2_score(y_true, y_pred) -> float:
+    t, p = _pair(y_true, y_pred)
+    ss_res = float(((t - p) ** 2).sum())
+    ss_tot = float(((t - t.mean()) ** 2).sum())
+    if ss_tot == 0:
+        raise ValueError("R² undefined for constant targets")
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,180 @@
+"""Multilayer perceptron regressor (NumPy backprop + Adam).
+
+The paper's most accurate but most expensive STP model (Table 1: 0.77%
+average APE; Fig. 8: longest training and prediction times).  A small
+fully-connected network with tanh hidden layers; inputs are z-scored
+internally and the target is optionally log-transformed (EDP spans
+orders of magnitude, and relative — APE — accuracy is what Table 1
+scores, which is exactly what a log-space L2 loss optimises).
+
+Training is full-batch-shuffled mini-batch Adam with early stopping on
+a held-out split; all math is vectorised over the batch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.base import check_X, check_Xy
+from repro.ml.preprocessing import StandardScaler, train_val_split
+from repro.utils.rng import SeedLike, rng_from
+
+
+class MLPRegressor:
+    """Feed-forward network: d → hidden… → 1."""
+
+    def __init__(
+        self,
+        hidden: Sequence[int] = (48, 24),
+        *,
+        epochs: int = 400,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        weight_decay: float = 1e-6,
+        log_target: bool = True,
+        early_stop_patience: int = 40,
+        val_fraction: float = 0.15,
+        seed: SeedLike = 0,
+    ) -> None:
+        if not hidden or any(h < 1 for h in hidden):
+            raise ValueError("hidden must be a non-empty sequence of sizes >= 1")
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.log_target = log_target
+        self.early_stop_patience = early_stop_patience
+        self.val_fraction = val_fraction
+        self.seed = seed
+        self._weights: list[np.ndarray] | None = None
+        self._biases: list[np.ndarray] | None = None
+        self._x_scaler: StandardScaler | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self.n_features_: int | None = None
+        self.train_losses_: list[float] = []
+
+    # ---------------------------------------------------------- internals
+    def _init_params(self, d: int, rng: np.random.Generator) -> None:
+        sizes = [d, *self.hidden, 1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            # Xavier/Glorot scaling for tanh.
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self._weights.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, Z: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        assert self._weights is not None and self._biases is not None
+        acts = [Z]
+        h = Z
+        for W, b in zip(self._weights[:-1], self._biases[:-1]):
+            h = np.tanh(h @ W + b)
+            acts.append(h)
+        out = h @ self._weights[-1] + self._biases[-1]
+        return out[:, 0], acts
+
+    def _transform_y(self, y: np.ndarray) -> np.ndarray:
+        if self.log_target:
+            if np.any(y <= 0):
+                raise ValueError("log_target requires strictly positive targets")
+            y = np.log(y)
+        return (y - self._y_mean) / self._y_std
+
+    def _untransform_y(self, t: np.ndarray) -> np.ndarray:
+        y = t * self._y_std + self._y_mean
+        return np.exp(y) if self.log_target else y
+
+    # ---------------------------------------------------------------- API
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        X, y = check_Xy(X, y)
+        self.n_features_ = X.shape[1]
+        rng = rng_from(self.seed)
+        self._x_scaler = StandardScaler().fit(X)
+        if self.log_target and np.any(y <= 0):
+            raise ValueError("log_target requires strictly positive targets")
+        ylog = np.log(y) if self.log_target else y
+        self._y_mean = float(ylog.mean())
+        self._y_std = float(ylog.std()) or 1.0
+
+        Z = self._x_scaler.transform(X)
+        T = self._transform_y(y)
+        if len(y) >= 10 and self.early_stop_patience > 0:
+            Zt, Tt, Zv, Tv = train_val_split(
+                Z, T, val_fraction=self.val_fraction, seed=rng.integers(2**31)
+            )
+        else:
+            Zt, Tt, Zv, Tv = Z, T, Z, T
+
+        self._init_params(Z.shape[1], rng)
+        params = self._weights + self._biases
+        m = [np.zeros_like(p) for p in params]
+        v = [np.zeros_like(p) for p in params]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        best_val = np.inf
+        best_params = [p.copy() for p in params]
+        stale = 0
+        n = Zt.shape[0]
+        self.train_losses_ = []
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for lo in range(0, n, self.batch_size):
+                idx = order[lo : lo + self.batch_size]
+                zb, tb = Zt[idx], Tt[idx]
+                pred, acts = self._forward(zb)
+                err = pred - tb
+                epoch_loss += float((err**2).sum())
+                # Backprop.
+                grads_W: list[np.ndarray] = []
+                grads_b: list[np.ndarray] = []
+                delta = (2.0 * err / len(idx))[:, None]
+                for layer in range(len(self._weights) - 1, -1, -1):
+                    a_prev = acts[layer]
+                    grads_W.insert(0, a_prev.T @ delta + self.weight_decay * self._weights[layer])
+                    grads_b.insert(0, delta.sum(axis=0))
+                    if layer > 0:
+                        delta = (delta @ self._weights[layer].T) * (1.0 - acts[layer] ** 2)
+                # Adam update.
+                step += 1
+                grads = grads_W + grads_b
+                for i, (p, g) in enumerate(zip(params, grads)):
+                    m[i] = beta1 * m[i] + (1 - beta1) * g
+                    v[i] = beta2 * v[i] + (1 - beta2) * g * g
+                    mhat = m[i] / (1 - beta1**step)
+                    vhat = v[i] / (1 - beta2**step)
+                    p -= self.lr * mhat / (np.sqrt(vhat) + eps)
+            self.train_losses_.append(epoch_loss / n)
+            if self.early_stop_patience > 0:
+                val_pred, _ = self._forward(Zv)
+                val = float(((val_pred - Tv) ** 2).mean())
+                if val < best_val - 1e-9:
+                    best_val = val
+                    best_params = [p.copy() for p in params]
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.early_stop_patience:
+                        break
+        if self.early_stop_patience > 0:
+            k = len(self._weights)
+            self._weights = best_params[:k]
+            self._biases = best_params[k:]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._weights is None or self._x_scaler is None or self.n_features_ is None:
+            raise RuntimeError("model is not fitted")
+        X = check_X(X, self.n_features_)
+        Z = self._x_scaler.transform(X)
+        out, _ = self._forward(Z)
+        return self._untransform_y(out)

@@ -1,0 +1,64 @@
+"""Feature scaling and data splitting for the learned models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, rng_from
+
+
+class StandardScaler:
+    """Column-wise z-scoring with remembered statistics."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.std_ = np.where(std < 1e-12, 1.0, std)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(X, dtype=float) - self.mean_) / self.std_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return np.asarray(Z, dtype=float) * self.std_ + self.mean_
+
+
+def train_val_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    val_fraction: float = 0.25,
+    seed: SeedLike = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled (X_train, y_train, X_val, y_val) split.
+
+    Guarantees at least one sample on each side for any non-degenerate
+    input, which reduced-error pruning depends on.
+    """
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n = X.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    rng = rng_from(seed)
+    order = rng.permutation(n)
+    n_val = min(max(int(round(n * val_fraction)), 1), n - 1)
+    val_idx = order[:n_val]
+    tr_idx = order[n_val:]
+    return X[tr_idx], y[tr_idx], X[val_idx], y[val_idx]

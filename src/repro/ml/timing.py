@@ -1,0 +1,62 @@
+"""Training/prediction timing harness (Figure 8 of the paper).
+
+Measures wall-clock training time and per-query prediction time of an
+STP model.  Prediction cost matters online (every incoming application
+pays it); training is offline and one-time (§7.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ModelTiming:
+    """Measured costs of one model on one dataset."""
+
+    name: str
+    train_seconds: float
+    predict_seconds_total: float
+    n_predictions: int
+
+    @property
+    def predict_seconds_per_query(self) -> float:
+        return self.predict_seconds_total / max(self.n_predictions, 1)
+
+
+def time_model(
+    name: str,
+    fit: Callable[[np.ndarray, np.ndarray], object],
+    predict: Callable[[np.ndarray], object],
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_query: np.ndarray,
+    *,
+    repeat_predict: int = 3,
+) -> ModelTiming:
+    """Time one fit and ``repeat_predict`` prediction passes.
+
+    Prediction time is the *minimum* over repeats (the standard
+    timeit convention: the floor is the signal, the rest is noise).
+    """
+    if repeat_predict < 1:
+        raise ValueError("repeat_predict must be >= 1")
+    t0 = time.perf_counter()
+    fit(X_train, y_train)
+    train_s = time.perf_counter() - t0
+
+    best = np.inf
+    for _ in range(repeat_predict):
+        t0 = time.perf_counter()
+        predict(X_query)
+        best = min(best, time.perf_counter() - t0)
+    return ModelTiming(
+        name=name,
+        train_seconds=train_s,
+        predict_seconds_total=best,
+        n_predictions=len(np.atleast_2d(X_query)),
+    )

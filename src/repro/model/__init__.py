@@ -1,0 +1,45 @@
+"""Analytic cost model and vectorised configuration sweeps.
+
+One cost kernel (:mod:`repro.model.costmodel`) serves two consumers:
+
+* :mod:`repro.model.sweep` evaluates it over whole NumPy grids of
+  configurations — this is what makes the paper's 84,480-run
+  brute-force oracle (COLAO) tractable in seconds;
+* :mod:`repro.mapreduce.engine` replays the same per-task quantities
+  event by event, producing traces for telemetry.
+
+Tests assert the two stay consistent.
+"""
+
+from repro.model.calibration import SimConstants, DEFAULT_CONSTANTS
+from repro.model.config import JobConfig, config_grid, pair_config_grid
+from repro.model.costmodel import (
+    JobMetrics,
+    PairMetrics,
+    distributed_metrics,
+    pair_metrics,
+    standalone_metrics,
+)
+from repro.model.sweep import (
+    PairSweepResult,
+    SoloSweepResult,
+    sweep_pair,
+    sweep_solo,
+)
+
+__all__ = [
+    "SimConstants",
+    "DEFAULT_CONSTANTS",
+    "JobConfig",
+    "config_grid",
+    "pair_config_grid",
+    "JobMetrics",
+    "PairMetrics",
+    "standalone_metrics",
+    "pair_metrics",
+    "distributed_metrics",
+    "SoloSweepResult",
+    "PairSweepResult",
+    "sweep_solo",
+    "sweep_pair",
+]

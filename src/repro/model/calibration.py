@@ -1,0 +1,71 @@
+"""Simulation constants that are properties of the *software stack*.
+
+Hardware constants live in :mod:`repro.hardware`; application constants
+in :mod:`repro.workloads.profiles`.  What remains is Hadoop itself:
+task scheduling overheads, shuffle re-read behaviour, memory
+overcommit penalties, and multi-node skew.  They are gathered in one
+frozen dataclass so experiments can run ablations by substituting a
+modified copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class SimConstants:
+    """Framework-level calibration constants.
+
+    Parameters
+    ----------
+    task_overhead_s:
+        Serial per-wave task overhead (JVM start/reuse, heartbeat
+        scheduling).  Each wave of map tasks pays this once per slot
+        pipeline; it is what punishes tiny HDFS blocks.
+    shuffle_reread_fraction:
+        Fraction of map output the reduce side re-reads from disk; the
+        rest is served from the page cache.
+    swap_penalty:
+        Disk-traffic multiplier slope under memory overcommit: traffic
+        scales by ``1 + swap_penalty · max(footprint/available − 1, 0)``.
+    straggler_coeff:
+        Multi-node skew: job time inflates by ``1 + c · log2(n_nodes)``
+        (per-node data skew and shuffle barriers grow with scale).
+    remote_shuffle_fraction:
+        Fraction of shuffle data crossing the NIC when the cluster
+        context is the paper's 8-node deployment ((N−1)/N = 0.875).
+    cache_share_floor:
+        Minimum LLC fraction a co-runner retains (it always keeps some
+        recently-inserted lines).
+    learning_period_s:
+        Length of the profiling window STP uses to collect features
+        from an unknown application (§6.4's "learning period").
+    """
+
+    task_overhead_s: float = 0.8
+    shuffle_reread_fraction: float = 0.25
+    swap_penalty: float = 0.8
+    straggler_coeff: float = 0.04
+    remote_shuffle_fraction: float = 0.875
+    cache_share_floor: float = 0.05
+    learning_period_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        check_positive("task_overhead_s", self.task_overhead_s)
+        check_probability("shuffle_reread_fraction", self.shuffle_reread_fraction)
+        check_positive("swap_penalty", self.swap_penalty, strict=False)
+        check_positive("straggler_coeff", self.straggler_coeff, strict=False)
+        check_probability("remote_shuffle_fraction", self.remote_shuffle_fraction)
+        check_probability("cache_share_floor", self.cache_share_floor)
+        check_positive("learning_period_s", self.learning_period_s)
+
+    def with_(self, **kwargs) -> "SimConstants":
+        """A modified copy (for ablation experiments)."""
+        return replace(self, **kwargs)
+
+
+#: The calibration used by all headline experiments.
+DEFAULT_CONSTANTS = SimConstants()

@@ -1,0 +1,30 @@
+"""Measurement substrate: the paper's perf / dstat / Wattsup stack.
+
+The paper instruments every run with three tools (§2.5): ``perf``
+(multiplexed PMU counters), ``dstat`` (CPU/disk/memory utilisation at
+1 s) and a Wattsup PRO wall-power meter (1 s).  This package simulates
+all three against either a live :class:`~repro.mapreduce.engine.
+NodeEngine` trace or a closed-form profiling run, producing the
+14-feature vectors that drive classification and self-tuning.
+"""
+
+from repro.telemetry.metrics import edp, energy_joules, edp_improvement
+from repro.telemetry.perf import PerfSampler, PerfReport, PMU_EVENTS
+from repro.telemetry.dstat import DstatMonitor, DstatRow
+from repro.telemetry.wattsup import WattsupMeter, PowerTrace
+from repro.telemetry.profiling import FEATURE_NAMES, profile_features
+
+__all__ = [
+    "edp",
+    "energy_joules",
+    "edp_improvement",
+    "PerfSampler",
+    "PerfReport",
+    "PMU_EVENTS",
+    "DstatMonitor",
+    "DstatRow",
+    "WattsupMeter",
+    "PowerTrace",
+    "FEATURE_NAMES",
+    "profile_features",
+]

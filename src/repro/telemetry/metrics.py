@@ -1,0 +1,62 @@
+"""Energy-efficiency metrics (§2.6 of the paper).
+
+The paper's figure of merit is the Energy-Delay Product,
+``EDP = ExecutionTime × ExecutionTime × Power = Energy × Time``,
+which penalises both wasted energy and lost performance — plain energy
+would reward slowing the clock arbitrarily.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def energy_joules(avg_power_watts, duration_s) -> np.ndarray:
+    """Energy from average power and duration (broadcasts)."""
+    p = np.asarray(avg_power_watts, dtype=float)
+    t = np.asarray(duration_s, dtype=float)
+    if np.any(p < 0) or np.any(t < 0):
+        raise ValueError("power and duration must be non-negative")
+    return p * t
+
+
+def edp(avg_power_watts, duration_s) -> np.ndarray:
+    """Energy-Delay Product: ``P · T²`` (joule-seconds)."""
+    t = np.asarray(duration_s, dtype=float)
+    return energy_joules(avg_power_watts, duration_s) * t
+
+
+def edp_from_energy(energy_j, duration_s) -> np.ndarray:
+    """EDP from measured energy and duration."""
+    e = np.asarray(energy_j, dtype=float)
+    t = np.asarray(duration_s, dtype=float)
+    if np.any(e < 0) or np.any(t < 0):
+        raise ValueError("energy and duration must be non-negative")
+    return e * t
+
+
+def edp_improvement(baseline_edp, tuned_edp) -> np.ndarray:
+    """Improvement factor (>1 means ``tuned`` is better)."""
+    base = np.asarray(baseline_edp, dtype=float)
+    tuned = np.asarray(tuned_edp, dtype=float)
+    if np.any(tuned <= 0):
+        raise ValueError("tuned EDP must be positive")
+    return base / tuned
+
+
+def relative_error(candidate_edp, oracle_edp) -> np.ndarray:
+    """The paper's §7.1 'error rate': relative EDP excess vs. oracle (%)."""
+    cand = np.asarray(candidate_edp, dtype=float)
+    oracle = np.asarray(oracle_edp, dtype=float)
+    if np.any(oracle <= 0):
+        raise ValueError("oracle EDP must be positive")
+    return (cand - oracle) / oracle * 100.0
+
+
+def absolute_percentage_error(predicted, actual) -> np.ndarray:
+    """APE (%) as used in Table 1 for the EDP-prediction models."""
+    pred = np.asarray(predicted, dtype=float)
+    act = np.asarray(actual, dtype=float)
+    if np.any(act == 0):
+        raise ValueError("actual values must be non-zero")
+    return np.abs(pred - act) / np.abs(act) * 100.0

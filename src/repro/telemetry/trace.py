@@ -1,0 +1,176 @@
+"""Execution-trace analysis over the engine's interval records.
+
+The discrete-event engine emits one :class:`~repro.mapreduce.engine.
+IntervalRecord` per constant-configuration segment.  This module turns
+those segments into per-job and per-node time series — busy profiles,
+utilisation averages, co-residency windows — the kind of post-mortem a
+cluster operator builds from collected dstat/Wattsup logs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.mapreduce.engine import IntervalRecord
+
+
+@dataclass(frozen=True)
+class JobTraceSummary:
+    """Aggregates for one job extracted from a node trace."""
+
+    job_id: int
+    first_seen: float
+    last_seen: float
+    busy_core_seconds: float  # Σ busy-fraction × mappers × dt
+    solo_seconds: float  # time running without a co-resident
+    shared_seconds: float  # time sharing the node
+    avg_corunners: float  # co-residents averaged over its lifetime
+
+    @property
+    def span(self) -> float:
+        return self.last_seen - self.first_seen
+
+    @property
+    def shared_fraction(self) -> float:
+        total = self.solo_seconds + self.shared_seconds
+        return self.shared_seconds / total if total > 0 else 0.0
+
+
+def summarize_jobs(intervals: Sequence[IntervalRecord]) -> dict[int, JobTraceSummary]:
+    """Per-job aggregates from one node's interval trace."""
+    first: dict[int, float] = {}
+    last: dict[int, float] = {}
+    busy: dict[int, float] = {}
+    solo: dict[int, float] = {}
+    shared: dict[int, float] = {}
+    corun: dict[int, float] = {}
+    for seg in intervals:
+        k = len(seg.job_ids)
+        for idx, job_id in enumerate(seg.job_ids):
+            first.setdefault(job_id, seg.start)
+            last[job_id] = max(last.get(job_id, seg.start), seg.end)
+            busy[job_id] = busy.get(job_id, 0.0) + (
+                seg.u_cpu_per_job[idx] * seg.mappers_per_job[idx] * seg.duration
+            )
+            if k == 1:
+                solo[job_id] = solo.get(job_id, 0.0) + seg.duration
+            else:
+                shared[job_id] = shared.get(job_id, 0.0) + seg.duration
+            corun[job_id] = corun.get(job_id, 0.0) + (k - 1) * seg.duration
+    out = {}
+    for job_id in first:
+        lifetime = max(last[job_id] - first[job_id], 1e-12)
+        out[job_id] = JobTraceSummary(
+            job_id=job_id,
+            first_seen=first[job_id],
+            last_seen=last[job_id],
+            busy_core_seconds=busy.get(job_id, 0.0),
+            solo_seconds=solo.get(job_id, 0.0),
+            shared_seconds=shared.get(job_id, 0.0),
+            avg_corunners=corun.get(job_id, 0.0) / lifetime,
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class NodeUtilization:
+    """Time-weighted node-level utilisation averages."""
+
+    horizon: float
+    busy_time: float  # seconds with >=1 job running
+    avg_cores_busy: float  # over the horizon
+    avg_disk_util: float
+    avg_net_util: float
+    avg_mem_util: float
+    avg_power_watts: float  # includes idle draw over idle gaps
+
+    @property
+    def duty_cycle(self) -> float:
+        return self.busy_time / self.horizon if self.horizon > 0 else 0.0
+
+
+def node_utilization(
+    intervals: Sequence[IntervalRecord],
+    *,
+    horizon: float | None = None,
+    idle_power: float = 0.0,
+) -> NodeUtilization:
+    """Average a node's utilisation over ``[0, horizon]``.
+
+    Seconds not covered by any segment count as idle (zero utilisation,
+    ``idle_power`` watts).
+    """
+    end = horizon
+    if end is None:
+        end = max((seg.end for seg in intervals), default=0.0)
+    if end <= 0:
+        raise ValueError("horizon must be positive (or intervals non-empty)")
+    busy = cores = disk = net = mem = energy = 0.0
+    for seg in intervals:
+        dt = max(min(seg.end, end) - seg.start, 0.0)
+        if dt <= 0:
+            continue
+        busy += dt
+        cores += dt * sum(
+            u * m for u, m in zip(seg.u_cpu_per_job, seg.mappers_per_job)
+        )
+        disk += dt * seg.u_disk
+        net += dt * seg.u_net
+        mem += dt * seg.u_mem
+        energy += dt * seg.power_watts
+    energy += (end - busy) * idle_power
+    return NodeUtilization(
+        horizon=end,
+        busy_time=busy,
+        avg_cores_busy=cores / end,
+        avg_disk_util=disk / end,
+        avg_net_util=net / end,
+        avg_mem_util=mem / end,
+        avg_power_watts=energy / end,
+    )
+
+
+def power_timeseries(
+    intervals: Sequence[IntervalRecord],
+    *,
+    step_s: float = 1.0,
+    horizon: float | None = None,
+    idle_power: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(times, watts) resampled on a fixed grid (no meter noise).
+
+    The deterministic counterpart of
+    :meth:`repro.telemetry.wattsup.WattsupMeter.trace_from_intervals`,
+    useful for exact assertions and plotting.
+    """
+    if step_s <= 0:
+        raise ValueError("step_s must be positive")
+    end = horizon
+    if end is None:
+        end = max((seg.end for seg in intervals), default=step_s)
+    n = max(int(np.ceil(end / step_s)), 1)
+    times = np.arange(n) * step_s
+    watts = np.full(n, idle_power)
+    starts = [seg.start for seg in intervals]
+    # Intervals from one node are time-ordered and non-overlapping, so
+    # a binary search finds the covering segment per sample.
+    for i, t in enumerate(times):
+        j = bisect_right(starts, t) - 1
+        if 0 <= j < len(intervals) and intervals[j].start <= t < intervals[j].end:
+            watts[i] = intervals[j].power_watts
+    return times, watts
+
+
+def concurrency_histogram(
+    intervals: Sequence[IntervalRecord]
+) -> dict[int, float]:
+    """Seconds spent at each co-residency level (1, 2, ... jobs)."""
+    hist: dict[int, float] = {}
+    for seg in intervals:
+        k = len(seg.job_ids)
+        hist[k] = hist.get(k, 0.0) + seg.duration
+    return hist

@@ -1,0 +1,37 @@
+"""Shared utilities: units, deterministic RNG management, table rendering."""
+
+from repro.utils.units import (
+    GB,
+    GHZ,
+    KB,
+    MB,
+    MHZ,
+    fmt_bytes,
+    fmt_duration,
+    fmt_freq,
+)
+from repro.utils.rng import rng_from, spawn_rngs
+from repro.utils.tables import render_table, render_series
+from repro.utils.validation import (
+    check_in,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "GB",
+    "GHZ",
+    "KB",
+    "MB",
+    "MHZ",
+    "fmt_bytes",
+    "fmt_duration",
+    "fmt_freq",
+    "rng_from",
+    "spawn_rngs",
+    "render_table",
+    "render_series",
+    "check_in",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,89 @@
+"""Plain-text table and series rendering for experiment reports.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: tables render as aligned ASCII grids, figures (which are bar/line
+charts in the paper) render as labelled numeric series that carry the
+same information as the plotted points.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _cell(value: Any, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    ``rows`` may contain any mix of strings and numbers; floats are
+    formatted with ``floatfmt``.  Raises ``ValueError`` on ragged rows so
+    a malformed experiment report fails loudly instead of mis-aligning.
+    """
+    str_rows = []
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+        str_rows.append([_cell(v, floatfmt) for v in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_line(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_labels: Sequence[Any] | None = None,
+    title: str | None = None,
+    x_name: str = "x",
+    floatfmt: str = ".3f",
+) -> str:
+    """Render named numeric series (one column per series) as text.
+
+    This is the textual equivalent of a multi-series line/bar chart:
+    the first column is the x label, the remaining columns are the series
+    values at that x.
+    """
+    names = list(series)
+    if not names:
+        raise ValueError("no series to render")
+    length = len(series[names[0]])
+    for name in names:
+        if len(series[name]) != length:
+            raise ValueError(f"series {name!r} length differs")
+    if x_labels is None:
+        x_labels = list(range(length))
+    if len(x_labels) != length:
+        raise ValueError("x_labels length does not match series length")
+    headers = [x_name] + names
+    rows = [[x_labels[i]] + [series[n][i] for n in names] for i in range(length)]
+    return render_table(headers, rows, title=title, floatfmt=floatfmt)

@@ -1,0 +1,56 @@
+"""Unit constants and human-readable formatting helpers.
+
+All internal quantities in the simulator use SI base units:
+
+* sizes in **bytes**
+* time in **seconds**
+* frequency in **Hz**
+* power in **watts**
+* energy in **joules**
+
+The constants here are multipliers from the convenient unit to the base
+unit, so ``256 * MB`` is a size in bytes and ``2.4 * GHZ`` a frequency in
+hertz.  Storage sizes follow the binary convention used by HDFS (a
+"64 MB block" is ``64 * 2**20`` bytes).
+"""
+
+from __future__ import annotations
+
+KB: int = 2**10
+MB: int = 2**20
+GB: int = 2**30
+
+MHZ: float = 1e6
+GHZ: float = 1e9
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary suffix (``1536 -> '1.5KB'``)."""
+    n = float(n)
+    for suffix, scale in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.4g}{suffix}"
+    return f"{n:.4g}B"
+
+
+def fmt_freq(hz: float) -> str:
+    """Format a frequency in hertz (``2.4e9 -> '2.4GHz'``)."""
+    if abs(hz) >= GHZ:
+        return f"{hz / GHZ:.4g}GHz"
+    return f"{hz / MHZ:.4g}MHz"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Format a duration in seconds using the most natural unit."""
+    s = float(seconds)
+    if s < 0:
+        return "-" + fmt_duration(-s)
+    if s < 1e-3:
+        return f"{s * 1e6:.3g}us"
+    if s < 1.0:
+        return f"{s * 1e3:.3g}ms"
+    if s < 120.0:
+        return f"{s:.3g}s"
+    if s < 7200.0:
+        return f"{s / 60.0:.3g}min"
+    return f"{s / 3600.0:.3g}h"

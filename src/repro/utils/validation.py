@@ -1,0 +1,44 @@
+"""Small argument-validation helpers used throughout the package.
+
+These raise ``ValueError`` with a consistent message format so that a
+mis-configured experiment fails at construction time, not deep inside
+the event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection, TypeVar
+
+T = TypeVar("T")
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Require ``value > 0`` (or ``>= 0`` when ``strict=False``)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in(name: str, value: T, allowed: Collection[Any]) -> T:
+    """Require ``value`` to be a member of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(
+            f"{name} must be one of {sorted(map(repr, allowed))}, got {value!r}"
+        )
+    return value
+
+
+def check_fraction_sum(name: str, values: Collection[float], *, total: float = 1.0, tol: float = 1e-9) -> None:
+    """Require a collection of fractions to sum to ``total`` within ``tol``."""
+    s = float(sum(values))
+    if abs(s - total) > tol:
+        raise ValueError(f"{name} must sum to {total}, got {s}")

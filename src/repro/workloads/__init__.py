@@ -1,0 +1,47 @@
+"""The 11 Hadoop MapReduce applications studied in the paper (§2.2).
+
+Micro-benchmarks: WordCount (WC), Sort (ST), Grep (GP), TeraSort (TS).
+Real-world analytics: Naive Bayes (NB), FP-Growth (FP), Collaborative
+Filtering (CF), SVM, PageRank (PR), Hidden Markov Model (HMM),
+K-Means (KM).
+
+Each application exists in two coupled forms:
+
+* **Functional kernels** — real ``mapper``/``reducer`` functions that run
+  on the in-memory MapReduce executor over synthetic data, used for
+  correctness tests and the examples.
+* **Resource profile** — the calibrated per-byte cost signature
+  (instructions/byte, IPC, LLC MPKI, I/O ratios, cache behaviour…)
+  consumed by the timing simulator.  Profiles determine each app's
+  class: compute-bound (C), hybrid (H), I/O-bound (I), memory-bound (M).
+"""
+
+from repro.workloads.base import (
+    AppClass,
+    AppInstance,
+    AppProfile,
+    Application,
+    DATA_SIZES,
+)
+from repro.workloads.registry import (
+    ALL_APPS,
+    TESTING_APPS,
+    TRAINING_APPS,
+    all_instances,
+    get_app,
+    instances_for,
+)
+
+__all__ = [
+    "AppClass",
+    "AppInstance",
+    "AppProfile",
+    "Application",
+    "DATA_SIZES",
+    "ALL_APPS",
+    "TRAINING_APPS",
+    "TESTING_APPS",
+    "get_app",
+    "all_instances",
+    "instances_for",
+]

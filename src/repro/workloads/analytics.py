@@ -1,0 +1,296 @@
+"""The seven real-world analytics applications (§2.2).
+
+Each is the standard Mahout-style MapReduce formulation; iterative
+algorithms (PageRank, K-Means, SVM via gradient descent, HMM via
+Baum-Welch) are expressed as one iteration per MapReduce job, which is
+exactly how they execute on Hadoop.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.workloads import datagen
+from repro.workloads.base import Application, KeyValue
+from repro.workloads.profiles import class_for, profile_for
+
+
+class NaiveBayes(Application):
+    """Naive Bayes training: per-(label, feature-bucket) counting."""
+
+    code = "nb"
+    name = "Naive Bayes"
+
+    def __init__(self, n_buckets: int = 8) -> None:
+        self.app_class = class_for(self.code)
+        self.profile = profile_for(self.code)
+        if n_buckets < 2:
+            raise ValueError("n_buckets must be >= 2")
+        self.n_buckets = n_buckets
+
+    def mapper(self, key: object, value: object) -> Iterable[KeyValue]:
+        label = int(key)  # type: ignore[arg-type]
+        x = np.asarray(value, dtype=float)
+        yield ("prior", label), 1
+        for j, xj in enumerate(x):
+            bucket = min(self.n_buckets - 1, max(0, int((xj + 4.0) / 8.0 * self.n_buckets)))
+            yield (label, j, bucket), 1
+
+    def reducer(self, key: object, values: Sequence[object]) -> Iterable[KeyValue]:
+        yield key, sum(int(v) for v in values)
+
+    def generate_records(self, n_records: int, seed: int = 0) -> Iterator[KeyValue]:
+        yield from datagen.labeled_vectors(n_records, seed=seed)
+
+
+class FPGrowth(Application):
+    """Frequent-itemset counting (the parallel counting pass of FP-Growth).
+
+    Emits singleton and pair candidates per basket; the reducer sums
+    supports.  This is the memory-hungry phase that makes FP-Growth
+    the paper's canonical memory-bound application.
+    """
+
+    code = "fp"
+    name = "FP-Growth"
+
+    def __init__(self, max_pair_items: int = 12) -> None:
+        self.app_class = class_for(self.code)
+        self.profile = profile_for(self.code)
+        if max_pair_items < 2:
+            raise ValueError("max_pair_items must be >= 2")
+        self.max_pair_items = max_pair_items
+
+    def mapper(self, key: object, value: object) -> Iterable[KeyValue]:
+        basket = tuple(value)  # type: ignore[arg-type]
+        for item in basket:
+            yield (item,), 1
+        head = basket[: self.max_pair_items]
+        for pair in combinations(head, 2):
+            yield pair, 1
+
+    def reducer(self, key: object, values: Sequence[object]) -> Iterable[KeyValue]:
+        yield key, sum(int(v) for v in values)
+
+    def generate_records(self, n_records: int, seed: int = 0) -> Iterator[KeyValue]:
+        yield from datagen.transactions(n_records, seed=seed)
+
+
+class CollaborativeFiltering(Application):
+    """Item co-occurrence counting for item-based CF recommendation."""
+
+    code = "cf"
+    name = "Collaborative Filtering"
+
+    def __init__(self, max_items_per_user: int = 20) -> None:
+        self.app_class = class_for(self.code)
+        self.profile = profile_for(self.code)
+        self.max_items_per_user = max_items_per_user
+        self._user_items: dict[int, list[int]] = {}
+
+    def mapper(self, key: object, value: object) -> Iterable[KeyValue]:
+        user = int(key)  # type: ignore[arg-type]
+        item, rating = value  # type: ignore[misc]
+        # Emit keyed by user so the reducer sees each user's item list;
+        # the co-occurrence join happens reduce-side (Mahout's layout).
+        yield user, (int(item), float(rating))
+
+    def reducer(self, key: object, values: Sequence[object]) -> Iterable[KeyValue]:
+        items = sorted({int(item) for item, _ in values})[: self.max_items_per_user]
+        for a, b in combinations(items, 2):
+            yield (a, b), 1
+
+    @property
+    def has_combiner(self) -> bool:
+        # Combining would pre-aggregate per-user item lists incorrectly.
+        return False
+
+    def generate_records(self, n_records: int, seed: int = 0) -> Iterator[KeyValue]:
+        yield from datagen.rating_triples(n_records, seed=seed)
+
+
+class SupportVectorMachine(Application):
+    """One epoch of linear-SVM training: partial hinge-loss gradients."""
+
+    code = "svm"
+    name = "SVM"
+
+    def __init__(self, n_features: int = 16, weights: np.ndarray | None = None) -> None:
+        self.app_class = class_for(self.code)
+        self.profile = profile_for(self.code)
+        self.n_features = n_features
+        self.weights = (
+            np.zeros(n_features) if weights is None else np.asarray(weights, dtype=float)
+        )
+        if self.weights.shape != (n_features,):
+            raise ValueError("weights shape does not match n_features")
+
+    def mapper(self, key: object, value: object) -> Iterable[KeyValue]:
+        label = int(key)  # type: ignore[arg-type]
+        x = np.asarray(value, dtype=float)
+        margin = label * float(self.weights @ x)
+        if margin < 1.0:
+            grad = -label * x
+            yield "grad", (grad.tolist(), 1)
+        else:
+            yield "grad", ([0.0] * self.n_features, 1)
+
+    def reducer(self, key: object, values: Sequence[object]) -> Iterable[KeyValue]:
+        total = np.zeros(self.n_features)
+        count = 0
+        for grad, n in values:
+            total += np.asarray(grad, dtype=float)
+            count += int(n)
+        yield key, (total / max(count, 1)).tolist()
+
+    @property
+    def has_combiner(self) -> bool:
+        # Partial sums combine correctly only before the mean; reuse the
+        # mapper-output format by summing pairs.
+        return False
+
+    def generate_records(self, n_records: int, seed: int = 0) -> Iterator[KeyValue]:
+        yield from datagen.labeled_vectors(n_records, n_features=self.n_features, seed=seed)
+
+
+class PageRank(Application):
+    """One PageRank power iteration over an edge list.
+
+    Mapper distributes each vertex's current rank over its out-edges;
+    reducer accumulates contributions with the damping factor.  Ranks
+    for the iteration are injected via :meth:`set_ranks`.
+    """
+
+    code = "pr"
+    name = "PageRank"
+
+    def __init__(self, damping: float = 0.85) -> None:
+        self.app_class = class_for(self.code)
+        self.profile = profile_for(self.code)
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0, 1)")
+        self.damping = damping
+        self._ranks: dict[int, float] = {}
+        self._out_degree: dict[int, int] = {}
+
+    def set_ranks(self, ranks: dict[int, float], out_degree: dict[int, int]) -> None:
+        """Install the current iteration's rank vector and degrees."""
+        self._ranks = dict(ranks)
+        self._out_degree = dict(out_degree)
+
+    def mapper(self, key: object, value: object) -> Iterable[KeyValue]:
+        src, dst = int(key), int(value)  # type: ignore[arg-type]
+        rank = self._ranks.get(src, 1.0)
+        degree = max(self._out_degree.get(src, 1), 1)
+        yield dst, rank / degree
+
+    def reducer(self, key: object, values: Sequence[object]) -> Iterable[KeyValue]:
+        incoming = sum(float(v) for v in values)
+        yield key, (1.0 - self.damping) + self.damping * incoming
+
+    @property
+    def has_combiner(self) -> bool:
+        # Contributions are summable, but the reducer applies the
+        # damping affine transform, so the raw reducer is not a valid
+        # combiner.  Run without one (matches Hadoop's naive PR job).
+        return False
+
+    def generate_records(self, n_records: int, seed: int = 0) -> Iterator[KeyValue]:
+        yield from datagen.graph_edges(n_records, seed=seed)
+
+
+class HiddenMarkovModel(Application):
+    """Baum-Welch E-step: expected transition/emission counts per sequence."""
+
+    code = "hmm"
+    name = "HMM"
+
+    def __init__(self, n_states: int = 4, n_symbols: int = 8, seed: int = 7) -> None:
+        self.app_class = class_for(self.code)
+        self.profile = profile_for(self.code)
+        rng = np.random.default_rng(seed)
+        self.n_states = n_states
+        self.n_symbols = n_symbols
+        self.trans = rng.dirichlet(np.ones(n_states), size=n_states)
+        self.emit = rng.dirichlet(np.ones(n_symbols), size=n_states)
+        self.start = np.full(n_states, 1.0 / n_states)
+
+    def _forward_backward(self, obs: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+        T = len(obs)
+        alpha = np.zeros((T, self.n_states))
+        beta = np.zeros((T, self.n_states))
+        alpha[0] = self.start * self.emit[:, obs[0]]
+        alpha[0] /= max(alpha[0].sum(), 1e-300)
+        for t in range(1, T):
+            alpha[t] = (alpha[t - 1] @ self.trans) * self.emit[:, obs[t]]
+            alpha[t] /= max(alpha[t].sum(), 1e-300)
+        beta[-1] = 1.0
+        for t in range(T - 2, -1, -1):
+            beta[t] = self.trans @ (self.emit[:, obs[t + 1]] * beta[t + 1])
+            beta[t] /= max(beta[t].sum(), 1e-300)
+        return alpha, beta
+
+    def mapper(self, key: object, value: object) -> Iterable[KeyValue]:
+        obs = list(value)  # type: ignore[arg-type]
+        alpha, beta = self._forward_backward(obs)
+        gamma = alpha * beta
+        gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), 1e-300)
+        for t, symbol in enumerate(obs):
+            for state in range(self.n_states):
+                yield ("emit", state, int(symbol)), float(gamma[t, state])
+
+    def reducer(self, key: object, values: Sequence[object]) -> Iterable[KeyValue]:
+        yield key, sum(float(v) for v in values)
+
+    def generate_records(self, n_records: int, seed: int = 0) -> Iterator[KeyValue]:
+        yield from datagen.hmm_sequences(
+            n_records, n_states=self.n_states, n_symbols=self.n_symbols, seed=seed
+        )
+
+
+class KMeans(Application):
+    """One K-Means iteration: assign points, emit partial centroid sums."""
+
+    code = "km"
+    name = "K-Means"
+
+    def __init__(self, n_clusters: int = 5, n_dims: int = 8, seed: int = 11) -> None:
+        self.app_class = class_for(self.code)
+        self.profile = profile_for(self.code)
+        rng = np.random.default_rng(seed)
+        self.n_clusters = n_clusters
+        self.n_dims = n_dims
+        self.centroids = rng.normal(scale=6.0, size=(n_clusters, n_dims))
+
+    def set_centroids(self, centroids: np.ndarray) -> None:
+        """Install the centroids for the next iteration."""
+        centroids = np.asarray(centroids, dtype=float)
+        if centroids.shape != (self.n_clusters, self.n_dims):
+            raise ValueError("centroid array has the wrong shape")
+        self.centroids = centroids
+
+    def mapper(self, key: object, value: object) -> Iterable[KeyValue]:
+        x = np.asarray(value, dtype=float)
+        dists = np.linalg.norm(self.centroids - x, axis=1)
+        nearest = int(np.argmin(dists))
+        yield nearest, (x.tolist(), 1)
+
+    def reducer(self, key: object, values: Sequence[object]) -> Iterable[KeyValue]:
+        total = np.zeros(self.n_dims)
+        count = 0
+        for vec, n in values:
+            total += np.asarray(vec, dtype=float)
+            count += int(n)
+        yield key, ((total / max(count, 1)).tolist(), count)
+
+    @property
+    def has_combiner(self) -> bool:
+        # Partial (sum, count) pairs are associative *before* division;
+        # the reducer divides, so it cannot double as a combiner.
+        return False
+
+    def generate_records(self, n_records: int, seed: int = 0) -> Iterator[KeyValue]:
+        yield from datagen.points(n_records, n_dims=self.n_dims, n_clusters=self.n_clusters, seed=seed)

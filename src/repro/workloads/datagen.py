@@ -1,0 +1,184 @@
+"""Synthetic input generators for the 11 studied applications.
+
+The paper drives its workloads with HiBench-style inputs (Zipfian text,
+random TeraSort records, ratings matrices, transaction baskets, graph
+edges…).  Each generator here produces a deterministic stream of
+records from a seed, sized so correctness tests and examples run on a
+laptop while exercising the same code paths.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import rng_from
+
+#: Vocabulary used by the text generators (Zipf-distributed).
+_VOCAB_SIZE = 5000
+_WORD_CHARS = np.array(list(string.ascii_lowercase))
+
+
+def _vocabulary(rng: np.random.Generator, size: int = _VOCAB_SIZE) -> list[str]:
+    """A deterministic vocabulary of pronounceable-ish lowercase words."""
+    words = []
+    seen = set()
+    while len(words) < size:
+        length = int(rng.integers(3, 10))
+        word = "".join(rng.choice(_WORD_CHARS, size=length))
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+def zipf_text_lines(
+    n_lines: int,
+    *,
+    words_per_line: int = 10,
+    exponent: float = 1.2,
+    seed: int = 0,
+) -> Iterator[str]:
+    """Lines of Zipf-distributed words (WordCount / Grep input)."""
+    rng = rng_from(seed)
+    vocab = _vocabulary(rng)
+    ranks = np.arange(1, len(vocab) + 1, dtype=float)
+    probs = ranks**-exponent
+    probs /= probs.sum()
+    for _ in range(n_lines):
+        idx = rng.choice(len(vocab), size=words_per_line, p=probs)
+        yield " ".join(vocab[i] for i in idx)
+
+
+def terasort_records(n_records: int, *, seed: int = 0) -> Iterator[tuple[bytes, bytes]]:
+    """(10-byte key, 90-byte payload) records in TeraGen's format."""
+    rng = rng_from(seed)
+    for _ in range(n_records):
+        key = bytes(rng.integers(0, 256, size=10, dtype=np.uint8))
+        payload = bytes(rng.integers(32, 127, size=90, dtype=np.uint8))
+        yield key, payload
+
+
+def kv_records(n_records: int, *, key_space: int = 10_000, seed: int = 0) -> Iterator[tuple[int, float]]:
+    """Generic (int key, float value) records (Sort input)."""
+    rng = rng_from(seed)
+    for _ in range(n_records):
+        yield int(rng.integers(0, key_space)), float(rng.random())
+
+
+def labeled_vectors(
+    n_records: int,
+    *,
+    n_features: int = 16,
+    seed: int = 0,
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Linearly-separable-ish labelled feature vectors (SVM / NB input).
+
+    Two Gaussian clusters with distinct means so learning kernels have
+    signal to find; labels are ±1.
+    """
+    rng = rng_from(seed)
+    direction = rng.normal(size=n_features)
+    direction /= np.linalg.norm(direction)
+    for _ in range(n_records):
+        label = 1 if rng.random() < 0.5 else -1
+        x = rng.normal(size=n_features) + 1.5 * label * direction
+        yield label, x
+
+
+def rating_triples(
+    n_records: int,
+    *,
+    n_users: int = 500,
+    n_items: int = 200,
+    seed: int = 0,
+) -> Iterator[tuple[int, tuple[int, float]]]:
+    """(user, (item, rating)) triples (Collaborative Filtering input)."""
+    rng = rng_from(seed)
+    for _ in range(n_records):
+        user = int(rng.integers(0, n_users))
+        item = int(rng.integers(0, n_items))
+        rating = float(rng.integers(1, 6))
+        yield user, (item, rating)
+
+
+def transactions(
+    n_records: int,
+    *,
+    n_items: int = 300,
+    basket_mean: int = 8,
+    seed: int = 0,
+) -> Iterator[tuple[int, tuple[int, ...]]]:
+    """(txn id, item basket) records (FP-Growth input).
+
+    Item popularity is Zipfian so frequent itemsets actually exist.
+    """
+    rng = rng_from(seed)
+    ranks = np.arange(1, n_items + 1, dtype=float)
+    probs = ranks**-1.1
+    probs /= probs.sum()
+    for txn in range(n_records):
+        size = max(1, int(rng.poisson(basket_mean)))
+        basket = tuple(sorted(set(int(i) for i in rng.choice(n_items, size=size, p=probs))))
+        yield txn, basket
+
+
+def graph_edges(
+    n_records: int,
+    *,
+    n_nodes: int = 400,
+    seed: int = 0,
+) -> Iterator[tuple[int, int]]:
+    """Directed edges with preferential attachment (PageRank input)."""
+    rng = rng_from(seed)
+    ranks = np.arange(1, n_nodes + 1, dtype=float)
+    probs = ranks**-0.9
+    probs /= probs.sum()
+    for _ in range(n_records):
+        src = int(rng.integers(0, n_nodes))
+        dst = int(rng.choice(n_nodes, p=probs))
+        if dst == src:
+            dst = (dst + 1) % n_nodes
+        yield src, dst
+
+
+def hmm_sequences(
+    n_records: int,
+    *,
+    n_states: int = 4,
+    n_symbols: int = 8,
+    seq_len: int = 24,
+    seed: int = 0,
+) -> Iterator[tuple[int, tuple[int, ...]]]:
+    """(sequence id, observation sequence) records (HMM training input).
+
+    Sequences are emitted by a fixed random HMM so the Baum-Welch
+    kernel has consistent statistics to estimate.
+    """
+    rng = rng_from(seed)
+    trans = rng.dirichlet(np.ones(n_states), size=n_states)
+    emit = rng.dirichlet(np.ones(n_symbols), size=n_states)
+    for sid in range(n_records):
+        state = int(rng.integers(0, n_states))
+        obs = []
+        for _ in range(seq_len):
+            obs.append(int(rng.choice(n_symbols, p=emit[state])))
+            state = int(rng.choice(n_states, p=trans[state]))
+        yield sid, tuple(obs)
+
+
+def points(
+    n_records: int,
+    *,
+    n_dims: int = 8,
+    n_clusters: int = 5,
+    seed: int = 0,
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Clustered points (K-Means input); key is the hidden cluster id."""
+    rng = rng_from(seed)
+    centers = rng.normal(scale=6.0, size=(n_clusters, n_dims))
+    for _ in range(n_records):
+        c = int(rng.integers(0, n_clusters))
+        yield c, centers[c] + rng.normal(size=n_dims)

@@ -1,0 +1,86 @@
+"""Registry of the 11 studied applications and their instances.
+
+The paper splits the applications into a *training* set used to build
+the configuration database and a *testing* set of "unknown" incoming
+applications (§7): NB, CF, SVM, PR, HMM and KM are unknown; WC, ST,
+GP, TS and FP are known.  11 apps × 3 input sizes gives the 33
+instances whose 528 unordered pairs form the co-location workloads.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.workloads.analytics import (
+    CollaborativeFiltering,
+    FPGrowth,
+    HiddenMarkovModel,
+    KMeans,
+    NaiveBayes,
+    PageRank,
+    SupportVectorMachine,
+)
+from repro.workloads.base import DATA_SIZES, AppInstance, Application
+from repro.workloads.micro import Grep, Sort, TeraSort, WordCount
+
+_FACTORIES = {
+    "wc": WordCount,
+    "st": Sort,
+    "gp": Grep,
+    "ts": TeraSort,
+    "nb": NaiveBayes,
+    "fp": FPGrowth,
+    "cf": CollaborativeFiltering,
+    "svm": SupportVectorMachine,
+    "pr": PageRank,
+    "hmm": HiddenMarkovModel,
+    "km": KMeans,
+}
+
+#: All 11 application codes in the paper's order (§2.2).
+ALL_APPS: tuple[str, ...] = ("wc", "st", "gp", "ts", "nb", "fp", "cf", "svm", "pr", "hmm", "km")
+
+#: Known applications used to build the training database (§7).
+TRAINING_APPS: tuple[str, ...] = ("wc", "st", "gp", "ts", "fp")
+
+#: Unknown incoming applications held out for validation (§7).
+TESTING_APPS: tuple[str, ...] = ("nb", "cf", "svm", "pr", "hmm", "km")
+
+_CACHE: dict[str, Application] = {}
+
+
+def get_app(code: str) -> Application:
+    """The (cached) application object for a code like ``"wc"``.
+
+    Applications are stateless for scheduling purposes, so one shared
+    instance per code is safe and keeps profile identity stable.
+    """
+    try:
+        factory = _FACTORIES[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {code!r}; valid codes: {', '.join(ALL_APPS)}"
+        ) from None
+    if code not in _CACHE:
+        _CACHE[code] = factory()
+    return _CACHE[code]
+
+
+def instances_for(
+    codes: Iterable[str], sizes: Sequence[int] = DATA_SIZES
+) -> list[AppInstance]:
+    """All (app, size) instances for the given codes."""
+    return [AppInstance(get_app(code), size) for code in codes for size in sizes]
+
+
+def all_instances(sizes: Sequence[int] = DATA_SIZES) -> list[AppInstance]:
+    """The full 11 × len(sizes) instance set (33 by default)."""
+    return instances_for(ALL_APPS, sizes)
+
+
+def all_pairs(instances: Sequence[AppInstance] | None = None) -> list[tuple[AppInstance, AppInstance]]:
+    """Unordered instance pairs — 528 for the default 33 instances (§7)."""
+    if instances is None:
+        instances = all_instances()
+    return list(combinations(instances, 2))

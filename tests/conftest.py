@@ -1,0 +1,52 @@
+"""Shared fixtures: small, fast artifacts reused across test modules.
+
+Heavyweight pipeline pieces (databases, training datasets, fitted
+models) are built once per session from a *reduced* instance set so
+the unit suite stays fast; the full-scale variants live behind the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import build_database
+from repro.core.stp import build_training_dataset
+from repro.hardware.node import ATOM_C2758
+from repro.utils.units import GB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import get_app
+
+
+@pytest.fixture(scope="session")
+def node():
+    return ATOM_C2758
+
+
+@pytest.fixture(scope="session")
+def small_training_instances():
+    """A reduced training set: 4 classes × 2 sizes = 8 instances."""
+    return [
+        AppInstance(get_app(code), size)
+        for code in ("wc", "st", "ts", "fp")
+        for size in (1 * GB, 5 * GB)
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_database(small_training_instances):
+    db, _sweeps = build_database(small_training_instances)
+    return db
+
+
+@pytest.fixture(scope="session")
+def small_database_with_sweeps(small_training_instances):
+    return build_database(small_training_instances, keep_sweeps=True)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_database_with_sweeps, small_training_instances):
+    _db, sweeps = small_database_with_sweeps
+    return build_training_dataset(
+        small_training_instances, sweeps=sweeps, rows_per_pair=200, seed=0
+    )

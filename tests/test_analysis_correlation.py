@@ -1,0 +1,76 @@
+"""Counter-correlation analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    CorrelationReport,
+    correlate_with_outcomes,
+    pearson_matrix,
+)
+from repro.analysis.features import build_feature_matrix
+from repro.utils.units import GB
+from repro.workloads.registry import ALL_APPS, instances_for
+
+
+class TestPearsonMatrix:
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        X = np.column_stack([x, 2 * x + 1, -x])
+        corr = pearson_matrix(X)
+        assert corr[0, 1] == pytest.approx(1.0)
+        assert corr[0, 2] == pytest.approx(-1.0)
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_independent_columns_near_zero(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 2))
+        corr = pearson_matrix(X)
+        assert abs(corr[0, 1]) < 0.15
+
+    def test_constant_column_zeroed(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        corr = pearson_matrix(X)
+        assert corr[0, 1] == 0.0
+        assert corr[0, 0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pearson_matrix(np.zeros(5))
+        with pytest.raises(ValueError):
+            pearson_matrix(np.zeros((1, 3)))
+
+
+class TestCorrelationReport:
+    @pytest.fixture(scope="class")
+    def report(self) -> CorrelationReport:
+        fm = build_feature_matrix(instances_for(ALL_APPS, sizes=(5 * GB,)), seed=0)
+        return correlate_with_outcomes(fm)
+
+    def test_shapes(self, report):
+        assert report.outcome_corr.shape == (14, 3)
+        assert report.feature_corr.shape == (14, 14)
+
+    def test_known_physical_correlations(self, report):
+        """LLC MPKI must correlate positively with tuned runtime — the
+        memory wall — and CPUuser with power draw."""
+        names = list(report.feature_names)
+        runtime = list(report.outcome_names).index("runtime")
+        power = list(report.outcome_names).index("power")
+        assert report.outcome_corr[names.index("llc_mpki"), runtime] > 0.3
+        assert report.outcome_corr[names.index("cpu_user"), power] > 0.3
+
+    def test_redundant_pairs_found(self, report):
+        """The counters the paper's clustering merges show up as
+        redundant here too (e.g. dcache vs llc MPKI)."""
+        pairs = {frozenset((a, b)) for a, b, _r in report.redundant_pairs()}
+        assert frozenset(("dcache_mpki", "llc_mpki")) in pairs
+
+    def test_best_single_indicator(self, report):
+        name, r = report.best_single_indicator("log_edp")
+        assert name in report.feature_names
+        assert abs(r) <= 1.0
+
+    def test_render(self, report):
+        text = report.render()
+        assert "Pearson" in text and "Redundant" in text

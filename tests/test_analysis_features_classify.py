@@ -1,0 +1,116 @@
+"""Feature-matrix and classifier tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.classify import NearestCentroidClassifier, RuleBasedClassifier
+from repro.analysis.features import PROFILING_CONFIG, build_feature_matrix, zscore
+from repro.telemetry.profiling import profile_features
+from repro.utils.units import GB
+from repro.workloads.base import AppClass, AppInstance
+from repro.workloads.registry import TESTING_APPS, TRAINING_APPS, instances_for, get_app
+
+
+class TestZscore:
+    def test_unit_normal_columns(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5.0, scale=3.0, size=(100, 4))
+        Z, scaler = zscore(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+        assert np.allclose(scaler.inverse(Z), X)
+
+    def test_constant_column_safe(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z, _ = zscore(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            zscore(np.arange(5.0))
+
+
+class TestFeatureMatrix:
+    @pytest.fixture(scope="class")
+    def fm(self):
+        return build_feature_matrix(instances_for(TRAINING_APPS, sizes=(5 * GB,)), seed=0)
+
+    def test_shape(self, fm):
+        assert fm.raw.shape == (5, 14)
+        assert fm.scaled.shape == (5, 14)
+
+    def test_row_lookup(self, fm):
+        row = fm.row_for("wc@5GB")
+        assert row.shape == (14,)
+        with pytest.raises(KeyError):
+            fm.row_for("nope@1GB")
+
+    def test_column_lookup(self, fm):
+        col = fm.column("llc_mpki", scaled=False)
+        assert col.shape == (5,)
+        with pytest.raises(KeyError):
+            fm.column("bogus")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_feature_matrix([])
+
+
+class TestClassifiers:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        tr = instances_for(TRAINING_APPS)
+        fm = build_feature_matrix(tr, seed=1)
+        return NearestCentroidClassifier().fit(fm, [i.app_class for i in tr])
+
+    def test_training_apps_classified_correctly(self, fitted):
+        for inst in instances_for(TRAINING_APPS):
+            feats = profile_features(inst, PROFILING_CONFIG, seed=1)
+            got = fitted.classify(feats)
+            if inst.app_class is AppClass.HYBRID:
+                # The hybrid class straddles compute (Grep) and I/O
+                # (TeraSort) behaviour, so its members may fall to the
+                # adjacent pure class — harmless for pairing, which
+                # ranks I > H > C contiguously.
+                assert got in (AppClass.HYBRID, AppClass.COMPUTE, AppClass.IO)
+            else:
+                assert got is inst.app_class
+
+    def test_unknown_apps_mostly_correct(self, fitted):
+        """§5 Step 1 on the paper's unknown apps: high accuracy with the
+        known borderline case (K-Means looks compute-bound)."""
+        correct = total = 0
+        for inst in instances_for(TESTING_APPS):
+            feats = profile_features(inst, PROFILING_CONFIG, seed=2)
+            total += 1
+            correct += fitted.classify(feats) is inst.app_class
+        assert correct / total >= 0.8
+
+    def test_distances_exposed(self, fitted):
+        feats = profile_features(
+            AppInstance(get_app("cf"), 5 * GB), PROFILING_CONFIG, seed=0
+        )
+        d = fitted.distances(feats)
+        assert set(d) == set(AppClass)
+        assert min(d, key=d.get) is AppClass.MEMORY
+
+    def test_unfitted_raises(self):
+        clf = NearestCentroidClassifier()
+        with pytest.raises(RuntimeError):
+            clf.classify({})
+        with pytest.raises(RuntimeError):
+            clf.classes_
+
+    def test_label_count_mismatch(self):
+        tr = instances_for(("wc",))
+        fm = build_feature_matrix(tr, seed=0)
+        with pytest.raises(ValueError):
+            NearestCentroidClassifier().fit(fm, [AppClass.COMPUTE] * 5)
+
+    def test_rule_based_on_clear_cases(self):
+        rb = RuleBasedClassifier()
+        for code, expected in (("wc", "C"), ("st", "I"), ("fp", "M"), ("ts", "H")):
+            feats = profile_features(
+                AppInstance(get_app(code), 10 * GB), PROFILING_CONFIG, seed=0
+            )
+            assert rb.classify(feats).value == expected

@@ -1,0 +1,101 @@
+"""PCA tests, cross-checked against a direct SVD."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.pca import PCA
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    latent = rng.normal(size=(200, 2))
+    mix = rng.normal(size=(2, 6))
+    return latent @ mix + 0.01 * rng.normal(size=(200, 6))
+
+
+def test_components_are_orthonormal(data):
+    pca = PCA().fit(data)
+    C = pca.components_
+    assert np.allclose(C @ C.T, np.eye(len(C)), atol=1e-8)
+
+
+def test_variance_ratios_sorted_and_sum_to_one(data):
+    pca = PCA().fit(data)
+    evr = pca.explained_variance_ratio_
+    assert np.all(np.diff(evr) <= 1e-12)
+    assert evr.sum() == pytest.approx(1.0)
+
+
+def test_two_latent_dims_captured_by_two_components(data):
+    pca = PCA(n_components=2).fit(data)
+    assert pca.explained_variance_ratio_.sum() > 0.99
+
+
+def test_transform_centers_data(data):
+    pca = PCA(n_components=2).fit(data)
+    scores = pca.transform(data)
+    assert np.allclose(scores.mean(axis=0), 0.0, atol=1e-8)
+
+
+def test_inverse_transform_reconstructs(data):
+    pca = PCA(n_components=2).fit(data)
+    recon = pca.inverse_transform(pca.transform(data))
+    assert np.allclose(recon, data, atol=0.1)
+
+
+def test_matches_numpy_svd_variances(data):
+    pca = PCA().fit(data)
+    Xc = data - data.mean(axis=0)
+    s = np.linalg.svd(Xc, compute_uv=False)
+    assert np.allclose(pca.explained_variance_, s**2 / (len(data) - 1), rtol=1e-10)
+
+
+def test_fit_transform_equivalence(data):
+    a = PCA(n_components=3).fit_transform(data)
+    b = PCA(n_components=3).fit(data).transform(data)
+    assert np.allclose(a, b)
+
+
+def test_feature_loadings_accessor(data):
+    pca = PCA(n_components=2).fit(data)
+    assert pca.feature_loadings(0).shape == (6,)
+    with pytest.raises(IndexError):
+        pca.feature_loadings(5)
+
+
+def test_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        PCA().transform(np.zeros((3, 3)))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PCA(n_components=0)
+    with pytest.raises(ValueError):
+        PCA().fit(np.zeros(5))
+    with pytest.raises(ValueError):
+        PCA().fit(np.zeros((1, 5)))
+    with pytest.raises(ValueError):
+        PCA(n_components=10).fit(np.zeros((4, 3)) + np.eye(4, 3))
+    with pytest.raises(ValueError):
+        PCA().fit(np.ones((5, 3)))  # zero variance
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    X=arrays(
+        np.float64,
+        shape=st.tuples(st.integers(5, 30), st.integers(2, 6)),
+        elements=st.floats(-100, 100),
+    )
+)
+def test_projection_never_increases_variance(X):
+    if np.allclose(X.var(axis=0).sum(), 0):
+        return
+    pca = PCA(n_components=1).fit(X)
+    scores = pca.transform(X)
+    assert scores.var() <= X.var(axis=0).sum() + 1e-6

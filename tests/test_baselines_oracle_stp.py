@@ -1,0 +1,55 @@
+"""OraclePairSTP tests."""
+
+import pytest
+
+from repro.baselines.oracle_stp import OraclePairSTP
+from repro.core.stp import describe_instance
+from repro.model.sweep import sweep_pair
+from repro.utils.units import GB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import get_app
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    instances = [
+        AppInstance(get_app(code), 1 * GB) for code in ("st", "wc", "fp")
+    ]
+    return (
+        OraclePairSTP().register_workload(instances, describe_instance),
+        instances,
+    )
+
+
+def test_returns_true_oracle_configs(oracle):
+    stp, instances = oracle
+    a, b = instances[0], instances[1]
+    cfg_a, cfg_b = stp.predict_configs(
+        describe_instance(a), describe_instance(b)
+    )
+    expected = sweep_pair(a, b).best_configs
+    assert (cfg_a, cfg_b) == expected
+
+
+def test_orientation_preserved_when_swapped(oracle):
+    stp, instances = oracle
+    a, b = instances[0], instances[2]
+    ab = stp.predict_configs(describe_instance(a), describe_instance(b))
+    ba = stp.predict_configs(describe_instance(b), describe_instance(a))
+    assert ab == (ba[1], ba[0])
+
+
+def test_caches_sweeps(oracle):
+    stp, instances = oracle
+    a, b = instances[0], instances[1]
+    stp.predict_configs(describe_instance(a), describe_instance(b))
+    n = len(stp._cache)
+    stp.predict_configs(describe_instance(b), describe_instance(a))
+    assert len(stp._cache) == n  # same unordered pair, no new sweep
+
+
+def test_unregistered_raises():
+    stp = OraclePairSTP()
+    d = describe_instance(AppInstance(get_app("wc"), 1 * GB))
+    with pytest.raises(RuntimeError):
+        stp.predict_configs(d, d)

@@ -1,0 +1,98 @@
+"""End-to-end ECoST controller tests (small fixture pipeline)."""
+
+import pytest
+
+from repro.analysis.classify import NearestCentroidClassifier
+from repro.analysis.features import build_feature_matrix
+from repro.core.controller import ECoSTController
+from repro.core.stp import MLMSTP
+from repro.mapreduce.engine import ClusterEngine
+from repro.utils.units import GB
+from repro.workloads.base import AppClass, AppInstance
+from repro.workloads.registry import get_app
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_dataset, small_training_instances):
+    stp = MLMSTP("reptree").fit(small_dataset)
+    fm = build_feature_matrix(small_training_instances, seed=0)
+    classifier = NearestCentroidClassifier().fit(
+        fm, [i.app_class for i in small_training_instances]
+    )
+    return stp, classifier
+
+
+# Make the session-scoped fixtures visible at module scope.
+@pytest.fixture(scope="module")
+def small_dataset(request):
+    return request.getfixturevalue("small_dataset")
+
+
+def _controller(pipeline, n_nodes=2):
+    stp, classifier = pipeline
+    cluster = ClusterEngine(n_nodes=n_nodes)
+    return ClusterEngine, ECoSTController(cluster, stp, classifier), cluster
+
+
+def test_runs_all_jobs_to_completion(pipeline):
+    _, ctrl, cluster = _controller(pipeline)
+    for code in ("svm", "st", "wc", "nb", "cf", "km"):
+        ctrl.submit(AppInstance(get_app(code), 1 * GB))
+    results = ctrl.run()
+    assert len(results) == 6
+    assert cluster.makespan > 0
+    assert not ctrl.queue
+
+
+def test_two_jobs_share_each_node_initially(pipeline):
+    _, ctrl, cluster = _controller(pipeline, n_nodes=2)
+    for code in ("svm", "st", "wc", "nb"):
+        ctrl.submit(AppInstance(get_app(code), 1 * GB))
+    ctrl.run()
+    starts_at_zero = [r for r in cluster.results if r.start_time == 0.0]
+    assert len(starts_at_zero) == 4  # 2 nodes × 2 co-located jobs
+
+
+def test_memory_apps_scheduled_last(pipeline):
+    """The decision tree gives M the lowest priority: with one node and
+    a mixed queue, the M application must not leap ahead."""
+    _, ctrl, cluster = _controller(pipeline, n_nodes=1)
+    ctrl.submit(AppInstance(get_app("svm"), 1 * GB))  # head: reserved
+    ctrl.submit(AppInstance(get_app("cf"), 1 * GB))   # M
+    ctrl.submit(AppInstance(get_app("st"), 1 * GB))   # I
+    ctrl.run()
+    order = [r.spec.instance.code for r in sorted(cluster.results, key=lambda r: r.start_time)]
+    assert order.index("st") < order.index("cf")
+
+
+def test_decisions_logged(pipeline):
+    _, ctrl, cluster = _controller(pipeline)
+    ctrl.submit(AppInstance(get_app("wc"), 1 * GB))
+    ctrl.submit(AppInstance(get_app("st"), 1 * GB))
+    ctrl.run()
+    assert len(ctrl.decisions) == 2
+    assert all("start" in d for d in ctrl.decisions)
+
+
+def test_staggered_arrivals(pipeline):
+    _, ctrl, cluster = _controller(pipeline, n_nodes=1)
+    ctrl.submit(AppInstance(get_app("wc"), 1 * GB), arrival_time=0.0)
+    ctrl.submit(AppInstance(get_app("st"), 1 * GB), arrival_time=30.0)
+    ctrl.run()
+    st = next(r for r in cluster.results if r.spec.instance.code == "st")
+    assert st.start_time >= 30.0
+
+
+def test_negative_arrival_rejected(pipeline):
+    _, ctrl, _ = _controller(pipeline)
+    with pytest.raises(ValueError):
+        ctrl.submit(AppInstance(get_app("wc"), 1 * GB), arrival_time=-1.0)
+
+
+def test_cluster_edp_positive(pipeline):
+    _, ctrl, cluster = _controller(pipeline)
+    for code in ("st", "st", "wc", "wc"):
+        ctrl.submit(AppInstance(get_app(code), 1 * GB))
+    ctrl.run()
+    assert cluster.edp() > 0
+    assert cluster.total_energy() > 0

@@ -1,0 +1,76 @@
+"""Configuration-database tests (built on the small fixture set)."""
+
+import pytest
+
+from repro.core.database import ConfigDatabase, build_database, training_pairs
+from repro.utils.units import GB
+from repro.workloads.base import AppClass, AppInstance
+from repro.workloads.registry import get_app
+
+
+def test_training_pairs_canonical_and_counted(small_training_instances):
+    pairs = training_pairs(small_training_instances, include_self=False)
+    # C(8, 2) = 28 unordered pairs.
+    assert len(pairs) == 28
+    with_self = training_pairs(small_training_instances, include_self=True)
+    assert len(with_self) == 36
+
+
+def test_database_entry_count(small_database, small_training_instances):
+    assert len(small_database) == 36
+
+
+def test_lookup_exact_class_size_match(small_database):
+    cfg_a, cfg_b, entry = small_database.lookup(
+        AppClass.IO, AppClass.IO, 5 * GB, 5 * GB
+    )
+    assert entry.class_a is AppClass.IO and entry.class_b is AppClass.IO
+    assert entry.size_a == 5 * GB and entry.size_b == 5 * GB
+    assert cfg_a == entry.config_a
+
+
+def test_lookup_orientation_swapped(small_database):
+    """Querying (M, C) must return configs mirrored from the canonical
+    (C, M) entry."""
+    a1, b1, _ = small_database.lookup(AppClass.COMPUTE, AppClass.MEMORY, 5 * GB, 5 * GB)
+    a2, b2, _ = small_database.lookup(AppClass.MEMORY, AppClass.COMPUTE, 5 * GB, 5 * GB)
+    assert (a1, b1) == (b2, a2)
+
+
+def test_lookup_nearest_size(small_database):
+    # 10 GB is absent from the small fixture; nearest (5 GB) serves.
+    _, _, entry = small_database.lookup(AppClass.IO, AppClass.IO, 10 * GB, 10 * GB)
+    assert entry.size_a == 5 * GB
+
+
+def test_entries_for_classes(small_database):
+    entries = small_database.entries_for_classes(AppClass.COMPUTE, AppClass.MEMORY)
+    assert entries
+    for e in entries:
+        assert {e.class_a, e.class_b} == {AppClass.COMPUTE, AppClass.MEMORY}
+
+
+def test_best_configs_are_oracle_minima(small_database_with_sweeps):
+    db, sweeps = small_database_with_sweeps
+    for entry in db.entries[:5]:
+        sweep = sweeps[(entry.label_a, entry.label_b)]
+        assert entry.best_edp == pytest.approx(sweep.best_edp)
+
+
+def test_empty_database_rejected():
+    with pytest.raises(ValueError):
+        ConfigDatabase([])
+
+
+def test_build_database_needs_at_least_one_pair():
+    insts = [AppInstance(get_app("wc"), 1 * GB)]
+    with pytest.raises(ValueError):
+        build_database(insts, include_self=False)
+
+
+def test_build_database_single_self_pair():
+    insts = [AppInstance(get_app("wc"), 1 * GB)]
+    db, _ = build_database(insts, include_self=True)
+    assert len(db) == 1
+    entry = db.entries[0]
+    assert entry.label_a == entry.label_b == "wc@1GB"

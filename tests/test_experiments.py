@@ -1,0 +1,143 @@
+"""Experiment-module tests: each paper artefact's shape asserts."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig1_pca import run_fig1
+from repro.experiments.fig2_tuning import run_fig2
+from repro.experiments.fig3_colao_ilao import run_fig3
+from repro.experiments.fig5_priority import run_fig5
+from repro.experiments.scenarios import (
+    WORKLOAD_SCENARIOS,
+    scenario_classes,
+    scenario_instances,
+)
+from repro.utils.units import GB
+from repro.workloads.base import AppClass
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_fig1(seed=0)
+
+    def test_two_components_capture_majority_of_variance(self, report):
+        assert report.pc12_variance > 0.5
+
+    def test_scatter_separates_memory_class(self, report):
+        """M instances cluster away from C instances in PC space."""
+        m_pts = np.array(
+            [
+                s for s, inst in zip(report.pc_scores, report.matrix.instances)
+                if inst.app_class is AppClass.MEMORY
+            ]
+        )
+        c_pts = np.array(
+            [
+                s for s, inst in zip(report.pc_scores, report.matrix.instances)
+                if inst.app_class is AppClass.COMPUTE
+            ]
+        )
+        gap = np.linalg.norm(m_pts.mean(axis=0) - c_pts.mean(axis=0))
+        spread = max(m_pts.std(), c_pts.std())
+        assert gap > spread
+
+    def test_seven_feature_clusters(self, report):
+        assert len(report.feature_clusters) == 7
+        names = [n for group in report.feature_clusters.values() for n in group]
+        assert len(names) == 14
+
+    def test_render_contains_scatter_and_clusters(self, report):
+        text = report.render()
+        assert "Figure 1" in text
+        assert "PC1" in text and "cluster" in text
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_fig2("st", data_bytes=10 * GB)
+
+    def test_concurrent_dominates_individual(self, report):
+        for b, f, c in zip(report.block_only, report.freq_only, report.concurrent):
+            assert c >= max(b, f) - 1e-9
+
+    def test_all_improvements_at_least_one(self, report):
+        assert min(report.block_only) >= 1.0 - 1e-9
+        assert min(report.freq_only) >= 1.0 - 1e-9
+
+    def test_sensitivity_decreases_with_mappers(self, report):
+        assert report.concurrent[0] > report.concurrent[-1]
+
+    def test_render(self, report):
+        assert "Figure 2" in report.render()
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_fig3(data_bytes=10 * GB)
+
+    def test_io_pair_has_maximum_gain(self, report):
+        assert report.max_ratio.class_pair == "I-I"
+        assert report.max_ratio.ratio > 1.8
+
+    def test_memory_pairs_have_smallest_gains(self, report):
+        by_class = report.ratios_by_class()
+        m_pairs = [v for k, v in by_class.items() if "M" in k]
+        assert max(m_pairs) < by_class["I-I"]
+
+    def test_colocation_wins_almost_everywhere(self, report):
+        ratios = [p.ratio for p in report.pairs]
+        winning = sum(1 for r in ratios if r >= 0.95)
+        assert winning / len(ratios) >= 0.8
+
+    def test_render(self, report):
+        assert "COLAO" in report.render()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_fig5(data_bytes=10 * GB)
+
+    def test_ii_ranks_first(self, report):
+        assert report.ranking()[0][0] == "I-I"
+
+    def test_m_pairs_rank_last(self, report):
+        bottom = {name for name, _ in report.ranking()[-4:]}
+        assert bottom == {"I-M", "H-M", "C-M", "M-M"}
+
+    def test_derived_priority_matches_paper_tree(self, report):
+        p = report.priority
+        assert p[AppClass.IO] > p[AppClass.HYBRID]
+        assert p[AppClass.HYBRID] >= p[AppClass.COMPUTE]
+        assert p[AppClass.COMPUTE] > p[AppClass.MEMORY]
+
+    def test_render(self, report):
+        text = report.render()
+        assert "Figure 5" in text and "I > H" in text
+
+
+class TestScenarios:
+    def test_eight_scenarios_of_sixteen_apps(self):
+        assert len(WORKLOAD_SCENARIOS) == 8
+        for name in WORKLOAD_SCENARIOS:
+            tags, codes = WORKLOAD_SCENARIOS[name]
+            assert len(tags) == 16 and len(codes) == 16
+
+    def test_class_tags_match_app_classes(self):
+        """Table 3's class row must equal our apps' derived classes."""
+        for name in WORKLOAD_SCENARIOS:
+            tags = scenario_classes(name)
+            insts = scenario_instances(name)
+            for tag, inst in zip(tags, insts):
+                assert inst.app_class.value == tag, (name, inst.code)
+
+    def test_instances_share_requested_size(self):
+        insts = scenario_instances("WS1", data_bytes=1 * GB)
+        assert all(i.data_bytes == 1 * GB for i in insts)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            scenario_instances("WS9")

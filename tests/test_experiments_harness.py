@@ -1,0 +1,138 @@
+"""Harness-level experiment tests: reporting registry, CLI, artifacts.
+
+The heavyweight experiments have dedicated benchmarks; here we test
+the machinery around them with small scopes and stub techniques.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.stp import LkTSTP
+from repro.experiments import artifacts
+from repro.experiments.reporting import (
+    available_experiments,
+    run_experiment,
+    run_experiments,
+)
+from repro.experiments.sec7_error import run_sec7
+from repro.experiments.table2_configs import run_table2
+from repro.utils.units import GB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import get_app
+
+
+class TestReportingRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = set(available_experiments())
+        assert {
+            "FIG1", "FIG2", "FIG3", "FIG5",
+            "TAB1", "TAB2", "SEC7", "FIG8", "FIG9",
+        } <= ids
+        # Extensions are registered with an EXT- prefix.
+        assert any(i.startswith("EXT-") for i in ids)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("FIG4")  # the paper's Fig. 4 is a diagram
+
+    def test_run_single_cheap_experiment(self):
+        report = run_experiment("fig5")  # case-insensitive
+        assert "I-I" in report.render()
+
+    def test_run_experiments_combined(self):
+        text = run_experiments(["FIG5"])
+        assert text.startswith("### FIG5")
+
+
+class TestSec7SmallScope:
+    def test_custom_techniques_and_pair_subset(self, small_database):
+        pairs = [
+            (AppInstance(get_app("nb"), 1 * GB), AppInstance(get_app("km"), 1 * GB)),
+            (AppInstance(get_app("svm"), 1 * GB), AppInstance(get_app("cf"), 1 * GB)),
+        ]
+        report = run_sec7(
+            techniques={"LkT": LkTSTP(small_database)},
+            pairs=pairs,
+        )
+        assert report.n_pairs == 2
+        assert "LkT" in report.errors
+        assert len(report.errors["LkT"]) == 2
+        assert np.all(report.errors["LkT"] >= -1e-9)
+
+    def test_max_pairs_subsamples(self, small_database):
+        report = run_sec7(
+            techniques={"LkT": LkTSTP(small_database)},
+            max_pairs=5,
+        )
+        assert report.n_pairs == 5
+
+
+class TestTable2SmallScope:
+    def test_custom_workloads(self, small_database):
+        report = run_table2(
+            workloads=((("nb", 1), ("km", 1)),),
+            techniques={"LkT": LkTSTP(small_database)},
+        )
+        assert len(report.rows) == 1
+        row = report.rows[0]
+        assert "LkT" in row.errors
+        assert row.errors["LkT"] >= -1e-9
+        text = report.render()
+        assert "COLAO" in text
+
+
+class TestArtifactsCache:
+    def test_cached_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"x": 42}
+
+        a = artifacts.cached("unit-test-item", build)
+        b = artifacts.cached("unit-test-item", build)
+        assert a == b == {"x": 42}
+        assert len(calls) == 1  # second call served from disk
+
+    def test_clear_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        artifacts.cached("another-item", lambda: [1, 2, 3])
+        assert artifacts.clear_cache() >= 1
+        assert list(tmp_path.glob("*.pkl")) == []
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG9" in out and "SEC7" in out
+
+    def test_classify_command(self, capsys):
+        from repro.__main__ import main
+
+        # Uses the disk-cached classifier; builds it if absent.
+        assert main(["classify", "st", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "classified as" in out
+
+    def test_requires_subcommand(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_domain_errors_are_clean(self, capsys):
+        """Unknown ids print `error: ...` + the valid options and exit 2
+        instead of dumping a traceback."""
+        from repro.__main__ import main
+
+        assert main(["run", "FIG4"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "valid" in err
+
+        assert main(["classify", "nosuchapp"]) == 2
+        err = capsys.readouterr().err
+        assert "valid codes" in err

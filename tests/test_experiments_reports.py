@@ -1,0 +1,94 @@
+"""Report-object logic tests with hand-built inputs (no sweeps)."""
+
+import pytest
+
+from repro.baselines.mapping import PolicyOutcome
+from repro.experiments.fig2_tuning import Fig2Report
+from repro.experiments.fig3_colao_ilao import Fig3Report, PairRatio
+from repro.experiments.fig9_scalability import POLICY_ORDER, Fig9Report
+from repro.experiments.sec7_error import Sec7Report
+from repro.utils.units import GB
+
+import numpy as np
+
+
+class TestFig2Report:
+    def test_joint_gain_over_individual(self):
+        report = Fig2Report(
+            app_code="x", data_bytes=1 * GB,
+            mappers=(1, 2),
+            block_only=(1.1, 1.0),
+            freq_only=(2.0, 1.8),
+            concurrent=(2.2, 1.8),
+        )
+        gains = report.concurrent_gain_over_individual
+        assert gains[0] == pytest.approx(10.0)
+        assert gains[1] == pytest.approx(0.0)
+        assert "Figure 2" in report.render()
+
+
+class TestFig3Report:
+    def _report(self):
+        pairs = (
+            PairRatio("st", "st", "I-I", ilao_edp=400.0, colao_edp=100.0),
+            PairRatio("st", "nb", "I-I", ilao_edp=300.0, colao_edp=150.0),
+            PairRatio("fp", "fp", "M-M", ilao_edp=100.0, colao_edp=100.0),
+        )
+        return Fig3Report(data_bytes=1 * GB, pairs=pairs)
+
+    def test_max_ratio(self):
+        assert self._report().max_ratio.ratio == pytest.approx(4.0)
+
+    def test_ratios_by_class_averages(self):
+        by_class = self._report().ratios_by_class()
+        assert by_class["I-I"] == pytest.approx(3.0)
+        assert by_class["M-M"] == pytest.approx(1.0)
+
+    def test_render_sorted_by_gain(self):
+        text = self._report().render()
+        # Rows are sorted by descending gain: st-st (4x) first,
+        # fp-fp (1x) last.
+        assert text.index("st-st") < text.index("st-nb") < text.index("fp-fp")
+
+
+class TestFig9Report:
+    def _report(self):
+        outcomes = {}
+        for ws in ("WSa",):
+            for n in (1,):
+                for i, p in enumerate(POLICY_ORDER):
+                    # UB last in POLICY_ORDER gets the lowest EDP.
+                    energy = 10.0 * (len(POLICY_ORDER) - i)
+                    outcomes[(ws, n, p)] = PolicyOutcome(
+                        policy=p, n_nodes=n, makespan=10.0, energy=energy
+                    )
+        return Fig9Report(node_counts=(1,), scenarios=("WSa",), outcomes=outcomes)
+
+    def test_normalized_to_ub(self):
+        norm = self._report().normalized("WSa", 1)
+        assert norm["UB"] == pytest.approx(1.0)
+        assert norm["SM"] == pytest.approx(len(POLICY_ORDER))
+
+    def test_ecost_gap_percent(self):
+        gap = self._report().ecost_gap(1)
+        assert gap == pytest.approx(100.0)  # ECoST energy = 2x UB
+
+    def test_render(self):
+        assert "Figure 9" in self._report().render()
+
+
+class TestSec7Report:
+    def test_means_and_render(self):
+        report = Sec7Report(
+            errors={
+                "LkT": np.array([1.0, 3.0]),
+                "LR": np.array([50.0, 70.0]),
+                "REPTree": np.array([2.0, 2.0]),
+                "MLP": np.array([1.0, 1.0]),
+            },
+            n_pairs=2,
+        )
+        means = report.means()
+        assert means["LR"] == pytest.approx(60.0)
+        text = report.render()
+        assert "S7.1" in text and "LkT" in text

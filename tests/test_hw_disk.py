@@ -1,0 +1,92 @@
+"""Disk model tests, including water-filling share properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.disk import DiskModel
+from repro.utils.units import MB
+
+
+@pytest.fixture
+def disk():
+    return DiskModel()
+
+
+def test_sequential_efficiency_monotone_in_extent(disk):
+    extents = np.array([1, 16, 64, 256, 1024]) * MB
+    eff = disk.sequential_efficiency(extents)
+    assert np.all(np.diff(eff) > 0)
+    assert np.all(eff < 1.0)
+
+
+def test_sequential_efficiency_half_point(disk):
+    assert float(disk.sequential_efficiency(disk.half_extent)) == pytest.approx(0.5)
+
+
+def test_aggregate_bw_degrades_with_streams(disk):
+    bw = disk.aggregate_bw(np.array([1, 2, 4, 8]), 256 * MB)
+    assert np.all(np.diff(bw) < 0)
+
+
+def test_aggregate_bw_zero_streams(disk):
+    assert float(disk.aggregate_bw(0, 256 * MB)) == 0.0
+
+
+def test_aggregate_bw_never_exceeds_peak(disk):
+    assert float(disk.aggregate_bw(1, 10_000 * MB)) < disk.peak_bw
+
+
+def test_share_satisfies_small_demands_first(disk):
+    alloc = disk.share(np.array([1 * MB, 500 * MB]), 256 * MB)
+    assert alloc[0] == pytest.approx(1 * MB)
+    assert alloc[1] < 500 * MB  # capped at remaining capacity
+
+
+def test_share_zero_demand_gets_zero(disk):
+    alloc = disk.share(np.array([0.0, 50 * MB]), 256 * MB)
+    assert alloc[0] == 0.0
+    assert alloc[1] == pytest.approx(50 * MB)
+
+
+def test_share_rejects_2d(disk):
+    with pytest.raises(ValueError):
+        disk.share(np.zeros((2, 2)), 256 * MB)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    demands=st.lists(
+        st.floats(min_value=0, max_value=400 * MB, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_share_invariants(demands):
+    """Water-filling: never exceed demand, never exceed capacity, and
+    the allocation is work-conserving (either all demand met or the
+    capacity exhausted)."""
+    disk = DiskModel()
+    d = np.asarray(demands)
+    alloc = disk.share(d, 256 * MB)
+    assert np.all(alloc <= d + 1e-6)
+    k = int((d > 0).sum())
+    if k:
+        cap = float(disk.aggregate_bw(k, 256 * MB))
+        assert alloc.sum() <= cap + 1e-6
+        # Work conservation: leftover capacity implies all demands met.
+        if alloc.sum() < cap - 1e-3:
+            assert np.allclose(alloc, d)
+
+
+def test_utilization_bounds(disk):
+    assert disk.utilization([0.0], 256 * MB) == 0.0
+    assert disk.utilization([1e12], 256 * MB) == 1.0
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        DiskModel(peak_bw=0)
+    with pytest.raises(ValueError):
+        DiskModel(seek_penalty=1.5)

@@ -1,0 +1,62 @@
+"""DVFS table tests."""
+
+import pytest
+
+from repro.hardware.frequency import DVFS_LEVELS, DvfsTable, OperatingPoint
+from repro.utils.units import GHZ
+
+
+def test_paper_frequency_levels():
+    table = DvfsTable()
+    assert [round(p.ghz, 1) for p in table] == [1.2, 1.6, 2.0, 2.4]
+
+
+def test_voltage_increases_with_frequency():
+    volts = [p.voltage for p in DVFS_LEVELS]
+    assert volts == sorted(volts)
+    assert len(set(volts)) == len(volts)
+
+
+def test_dynamic_scale_superlinear_in_frequency():
+    table = DvfsTable()
+    ref = table.max_point
+    scales = [p.dynamic_scale(ref) for p in table]
+    assert scales[-1] == pytest.approx(1.0)
+    # Power should fall faster than frequency (V drops too).
+    for point, scale in zip(table, scales):
+        assert scale <= point.frequency / ref.frequency + 1e-12
+
+
+def test_point_for_exact_and_tolerant():
+    table = DvfsTable()
+    assert table.point_for(2.4 * GHZ).ghz == pytest.approx(2.4)
+    assert table.point_for(2.4 * GHZ * 1.0005).ghz == pytest.approx(2.4)
+
+
+def test_point_for_unknown_frequency_raises():
+    table = DvfsTable()
+    with pytest.raises(ValueError, match="not a DVFS level"):
+        table.point_for(1.8 * GHZ)
+
+
+def test_voltage_for():
+    table = DvfsTable()
+    assert table.voltage_for(1.2 * GHZ) == DVFS_LEVELS[0].voltage
+
+
+def test_duplicate_frequencies_rejected():
+    p = OperatingPoint(frequency=1.0 * GHZ, voltage=0.9)
+    with pytest.raises(ValueError, match="duplicate"):
+        DvfsTable((p, OperatingPoint(frequency=1.0 * GHZ, voltage=1.0)))
+
+
+def test_empty_table_rejected():
+    with pytest.raises(ValueError):
+        DvfsTable(())
+
+
+def test_operating_point_validation():
+    with pytest.raises(ValueError):
+        OperatingPoint(frequency=-1.0, voltage=1.0)
+    with pytest.raises(ValueError):
+        OperatingPoint(frequency=1.0, voltage=0.0)

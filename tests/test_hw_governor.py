@@ -1,0 +1,68 @@
+"""DVFS governor tests."""
+
+import pytest
+
+from repro.hardware.governor import DvfsGovernor
+from repro.utils.units import GHZ
+
+
+def test_powersave_pins_lowest():
+    gov = DvfsGovernor(kind="powersave")
+    assert gov.frequency == pytest.approx(1.2 * GHZ)
+    gov.observe(1.0)
+    assert gov.frequency == pytest.approx(1.2 * GHZ)
+
+
+def test_performance_pins_highest():
+    gov = DvfsGovernor(kind="performance")
+    assert gov.frequency == pytest.approx(2.4 * GHZ)
+    gov.observe(0.0)
+    assert gov.frequency == pytest.approx(2.4 * GHZ)
+
+
+class TestOndemand:
+    def test_jumps_to_max_on_load(self):
+        gov = DvfsGovernor(kind="ondemand")
+        assert gov.frequency == pytest.approx(1.2 * GHZ)
+        gov.observe(0.95)
+        assert gov.frequency == pytest.approx(2.4 * GHZ)
+
+    def test_steps_down_when_idle(self):
+        gov = DvfsGovernor(kind="ondemand")
+        gov.observe(1.0)
+        gov.observe(0.05)
+        assert gov.frequency == pytest.approx(2.0 * GHZ)
+        gov.observe(0.05)
+        assert gov.frequency == pytest.approx(1.6 * GHZ)
+
+    def test_holds_in_the_middle_band(self):
+        gov = DvfsGovernor(kind="ondemand")
+        gov.observe(1.0)
+        gov.observe(0.5)  # between thresholds: no change
+        assert gov.frequency == pytest.approx(2.4 * GHZ)
+
+    def test_settle_busy_app_reaches_max(self):
+        gov = DvfsGovernor(kind="ondemand")
+        assert gov.settle(0.9) == pytest.approx(2.4 * GHZ)
+
+    def test_settle_light_app_stays_low(self):
+        gov = DvfsGovernor(kind="ondemand")
+        # 10% demand at max frequency = 20% at 1.2 GHz: stays put.
+        assert gov.settle(0.10) == pytest.approx(1.2 * GHZ)
+
+    def test_settle_feedback_accounts_for_clock(self):
+        """35% demand at 2.4 GHz reads as 70% at 1.2 GHz — below the
+        up-threshold, so ondemand idles at the bottom; this is why a
+        mostly-I/O microserver ships at low clocks (the [NT] baseline)."""
+        gov = DvfsGovernor(kind="ondemand")
+        assert gov.settle(0.35) == pytest.approx(1.2 * GHZ)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DvfsGovernor(kind="turbo")
+    with pytest.raises(ValueError):
+        DvfsGovernor(up_threshold=0.2, down_threshold=0.5)
+    gov = DvfsGovernor()
+    with pytest.raises(ValueError):
+        gov.observe(1.5)

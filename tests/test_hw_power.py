@@ -1,0 +1,66 @@
+"""Node power-model tests."""
+
+import pytest
+
+from repro.hardware.power import PowerBreakdown, PowerModel
+from repro.utils.units import GHZ
+
+
+@pytest.fixture
+def power():
+    return PowerModel()
+
+
+def test_breakdown_total_and_dynamic():
+    b = PowerBreakdown(idle=30.0, cores=10.0, memory=2.0, disk=1.0)
+    assert b.total == pytest.approx(43.0)
+    assert b.dynamic == pytest.approx(13.0)
+
+
+def test_dynamic_scale_max_point_is_one(power):
+    assert float(power.dynamic_scale(2.4 * GHZ)) == pytest.approx(1.0)
+
+
+def test_dynamic_scale_sublinear_at_low_frequency(power):
+    scale = float(power.dynamic_scale(1.2 * GHZ))
+    assert scale < 0.5  # V^2 f: both V and f drop
+
+
+def test_core_power_zero_when_idle(power):
+    assert float(power.core_power(2.4 * GHZ, 0.0, 0.0)) == 0.0
+
+
+def test_core_power_stalls_draw_less(power):
+    busy = float(power.core_power(2.4 * GHZ, 1.0, 0.0))
+    stalled = float(power.core_power(2.4 * GHZ, 1.0, 1.0))
+    assert stalled == pytest.approx(busy * power.stall_power_fraction)
+
+
+def test_core_power_validation(power):
+    with pytest.raises(ValueError):
+        power.core_power(2.4 * GHZ, 1.5, 0.0)
+    with pytest.raises(ValueError):
+        power.core_power(2.4 * GHZ, 0.5, -0.1)
+
+
+def test_node_power_composition(power):
+    b = power.node_power(
+        [(2.4 * GHZ, 1.0, 0.0)] * 8, mem_utilization=0.5, disk_utilization=0.25
+    )
+    assert b.idle == power.idle_power
+    assert b.cores == pytest.approx(8 * power.core_max_power)
+    assert b.memory == pytest.approx(0.5 * power.mem_max_power)
+    assert b.disk == pytest.approx(0.25 * power.disk_max_power)
+
+
+def test_node_power_full_load_matches_tdp_scale(power):
+    """Full 8-core load at max frequency lands near the 20 W SoC TDP."""
+    b = power.node_power(
+        [(2.4 * GHZ, 1.0, 0.0)] * 8, mem_utilization=1.0, disk_utilization=1.0
+    )
+    assert 15.0 < b.dynamic < 30.0
+
+
+def test_node_power_invalid_utilization(power):
+    with pytest.raises(ValueError):
+        power.node_power([], mem_utilization=1.5, disk_utilization=0.0)

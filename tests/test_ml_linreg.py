@@ -1,0 +1,64 @@
+"""Linear-regression tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linreg import LinearRegression
+
+
+def test_recovers_exact_linear_relationship():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(100, 3))
+    w = np.array([2.0, -1.0, 0.5])
+    y = X @ w + 4.0
+    model = LinearRegression().fit(X, y)
+    assert np.allclose(model.coef_, w, atol=1e-8)
+    assert model.intercept_ == pytest.approx(4.0)
+    assert np.allclose(model.predict(X), y, atol=1e-8)
+
+
+def test_noisy_fit_close():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(500, 2))
+    y = 3 * X[:, 0] - 2 * X[:, 1] + rng.normal(scale=0.1, size=500)
+    model = LinearRegression().fit(X, y)
+    assert np.allclose(model.coef_, [3.0, -2.0], atol=0.05)
+
+
+def test_ridge_shrinks_coefficients():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(50, 4))
+    y = X @ np.array([5.0, 5.0, 5.0, 5.0])
+    plain = LinearRegression().fit(X, y)
+    ridged = LinearRegression(ridge=100.0).fit(X, y)
+    assert np.linalg.norm(ridged.coef_) < np.linalg.norm(plain.coef_)
+
+
+def test_rank_deficient_handled():
+    X = np.column_stack([np.arange(10.0), np.arange(10.0)])  # collinear
+    y = np.arange(10.0)
+    model = LinearRegression().fit(X, y)
+    assert np.allclose(model.predict(X), y, atol=1e-8)
+
+
+def test_single_row_prediction_shape():
+    model = LinearRegression().fit(np.eye(3), np.ones(3))
+    out = model.predict(np.array([1.0, 0.0, 0.0]))
+    assert out.shape == (1,)
+
+
+def test_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        LinearRegression().predict(np.zeros((1, 2)))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LinearRegression(ridge=-1.0)
+    with pytest.raises(ValueError):
+        LinearRegression().fit(np.zeros((3, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        LinearRegression().fit(np.full((3, 2), np.nan), np.zeros(3))
+    model = LinearRegression().fit(np.eye(2), np.ones(2))
+    with pytest.raises(ValueError):
+        model.predict(np.zeros((1, 3)))

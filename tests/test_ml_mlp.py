@@ -1,0 +1,87 @@
+"""MLP regressor tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.mlp import MLPRegressor
+
+
+def test_fits_linear_function():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-1, 1, size=(400, 2))
+    y = 3 * X[:, 0] - X[:, 1] + 5
+    model = MLPRegressor(hidden=(16,), epochs=300, log_target=False, seed=0).fit(X, y)
+    pred = model.predict(X)
+    assert float(np.abs(pred - y).mean()) < 0.2
+
+
+def test_fits_nonlinear_function():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-2, 2, size=(600, 2))
+    y = np.sin(X[:, 0]) * X[:, 1] ** 2 + 3.0
+    model = MLPRegressor(hidden=(32, 16), epochs=400, log_target=False, seed=0).fit(X, y)
+    resid = model.predict(X) - y
+    assert float(np.abs(resid).mean()) < 0.3
+
+
+def test_log_target_multiplicative_surface():
+    rng = np.random.default_rng(2)
+    X = rng.uniform(0.5, 2.0, size=(500, 3))
+    y = 1e5 * X[:, 0] ** 2 / X[:, 1] * np.exp(0.2 * X[:, 2])
+    model = MLPRegressor(epochs=300, log_target=True, seed=0).fit(X, y)
+    pred = model.predict(X)
+    ape = float((np.abs(pred - y) / y).mean())
+    assert ape < 0.05
+    assert np.all(pred > 0)
+
+
+def test_log_target_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        MLPRegressor(log_target=True).fit(np.eye(3) + 1, np.array([1.0, -1.0, 2.0]))
+
+
+def test_deterministic_for_seed():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(100, 2))
+    y = X[:, 0] + 1.0
+    a = MLPRegressor(epochs=50, log_target=False, seed=7).fit(X, y).predict(X)
+    b = MLPRegressor(epochs=50, log_target=False, seed=7).fit(X, y).predict(X)
+    assert np.array_equal(a, b)
+
+
+def test_training_loss_decreases():
+    rng = np.random.default_rng(4)
+    X = rng.normal(size=(300, 3))
+    y = X @ np.ones(3)
+    model = MLPRegressor(epochs=100, log_target=False, early_stop_patience=0, seed=0)
+    model.fit(X, y)
+    losses = model.train_losses_
+    assert losses[-1] < losses[0] / 5
+
+
+def test_early_stopping_truncates():
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(200, 2))
+    y = X[:, 0]
+    model = MLPRegressor(epochs=2000, early_stop_patience=5, log_target=False, seed=0)
+    model.fit(X, y)
+    assert len(model.train_losses_) < 2000
+
+
+def test_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        MLPRegressor().predict(np.zeros((1, 2)))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MLPRegressor(hidden=())
+    with pytest.raises(ValueError):
+        MLPRegressor(hidden=(0,))
+    with pytest.raises(ValueError):
+        MLPRegressor(epochs=0)
+    with pytest.raises(ValueError):
+        MLPRegressor(lr=0.0)
+    model = MLPRegressor(epochs=10, log_target=False, seed=0).fit(np.eye(3), np.ones(3))
+    with pytest.raises(ValueError):
+        model.predict(np.zeros((1, 5)))

@@ -1,0 +1,110 @@
+"""REPTree tests: growth, pruning, prediction invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.reptree import REPTree, _best_split
+
+
+def test_fits_a_step_function_exactly():
+    X = np.arange(100.0)[:, None]
+    y = (X[:, 0] >= 50).astype(float) * 10.0
+    tree = REPTree(prune=False).fit(X, y)
+    assert np.allclose(tree.predict(X), y)
+    assert tree.n_leaves == 2
+
+
+def test_fits_multi_step():
+    X = np.arange(90.0)[:, None]
+    y = np.repeat([1.0, 5.0, 9.0], 30)
+    tree = REPTree(prune=False).fit(X, y)
+    assert np.allclose(tree.predict(X), y)
+    assert tree.n_leaves == 3
+
+
+def test_best_split_maximises_variance_reduction():
+    X = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array([0.0, 0.0, 10.0, 10.0])
+    j, thr, gain = _best_split(X, y, min_leaf=1)
+    assert j == 0
+    assert 1.0 < thr < 2.0
+    assert gain == pytest.approx(100.0)  # total SSE removed
+
+
+def test_best_split_none_for_constant_target():
+    X = np.arange(10.0)[:, None]
+    y = np.ones(10)
+    assert _best_split(X, y, min_leaf=1) is None
+
+
+def test_min_leaf_respected():
+    X = np.arange(10.0)[:, None]
+    y = np.array([0.0] * 9 + [100.0])
+    tree = REPTree(min_leaf=3, prune=False).fit(X, y)
+    # Cannot isolate the single outlier with min_leaf=3.
+    preds = tree.predict(X)
+    assert preds[-1] < 100.0
+
+
+def test_max_depth_limits_tree():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 3))
+    y = rng.normal(size=200)
+    tree = REPTree(max_depth=2, prune=False).fit(X, y)
+    assert tree.depth <= 2
+    assert tree.n_leaves <= 4
+
+
+def test_pruning_never_grows_the_tree():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(300, 4))
+    y = X[:, 0] + rng.normal(scale=2.0, size=300)  # very noisy
+    unpruned = REPTree(prune=False, seed=0).fit(X, y)
+    pruned = REPTree(prune=True, seed=0).fit(X, y)
+    assert pruned.n_leaves <= unpruned.n_leaves
+
+
+def test_pruning_improves_noisy_generalisation():
+    rng = np.random.default_rng(2)
+    X = rng.uniform(size=(400, 2))
+    y = (X[:, 0] > 0.5).astype(float) + rng.normal(scale=0.5, size=400)
+    X_test = rng.uniform(size=(200, 2))
+    y_test = (X_test[:, 0] > 0.5).astype(float)
+    unpruned = REPTree(prune=False, seed=0).fit(X, y)
+    pruned = REPTree(prune=True, seed=0).fit(X, y)
+    err_u = float(((unpruned.predict(X_test) - y_test) ** 2).mean())
+    err_p = float(((pruned.predict(X_test) - y_test) ** 2).mean())
+    assert err_p <= err_u * 1.1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=8, max_value=60),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_predictions_within_target_range(n, seed):
+    """A regression tree predicts leaf means — never outside the
+    observed target range."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = rng.normal(size=n) * 10
+    tree = REPTree(seed=0).fit(X, y)
+    preds = tree.predict(rng.normal(size=(20, 3)))
+    assert preds.min() >= y.min() - 1e-9
+    assert preds.max() <= y.max() + 1e-9
+
+
+def test_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        REPTree().predict(np.zeros((1, 2)))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        REPTree(max_depth=0)
+    with pytest.raises(ValueError):
+        REPTree(min_leaf=0)
+    with pytest.raises(ValueError):
+        REPTree(prune_fraction=1.0)

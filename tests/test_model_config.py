@@ -1,0 +1,70 @@
+"""Configuration-space tests."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.node import ATOM_C2758
+from repro.model.config import (
+    JobConfig,
+    config_grid,
+    grid_to_configs,
+    iter_configs,
+    pair_config_grid,
+)
+from repro.utils.units import GHZ, MB
+
+
+def test_single_grid_is_160_points():
+    """§7: 5 block sizes × 8 mapper counts × 4 frequencies."""
+    f, b, m = config_grid(ATOM_C2758)
+    assert len(f) == len(b) == len(m) == 160
+    assert len({(x, y, z) for x, y, z in zip(f, b, m)}) == 160
+
+
+def test_pair_grid_default_partitions():
+    """(4·5)² knob combos × 7 full core partitions = 2800."""
+    arrays = pair_config_grid(ATOM_C2758)
+    assert all(len(a) == 2800 for a in arrays)
+    f1, b1, m1, f2, b2, m2 = arrays
+    assert np.all(m1 + m2 == ATOM_C2758.n_cores)
+
+
+def test_pair_grid_custom_partitions():
+    arrays = pair_config_grid(ATOM_C2758, partitions=[(2, 2)])
+    assert len(arrays[0]) == 400
+    with pytest.raises(ValueError, match="invalid core partition"):
+        pair_config_grid(ATOM_C2758, partitions=[(8, 8)])
+
+
+def test_job_config_validation():
+    cfg = JobConfig(frequency=2.4 * GHZ, block_size=256 * MB, n_mappers=4)
+    assert cfg.validate_for(ATOM_C2758) is cfg
+    with pytest.raises(ValueError):
+        JobConfig(frequency=2.4 * GHZ, block_size=256 * MB, n_mappers=0)
+    with pytest.raises(ValueError, match="not a studied HDFS size"):
+        JobConfig(frequency=2.4 * GHZ, block_size=100 * MB, n_mappers=4).validate_for(
+            ATOM_C2758
+        )
+    with pytest.raises(ValueError, match="not a DVFS level"):
+        JobConfig(frequency=1.8 * GHZ, block_size=256 * MB, n_mappers=4).validate_for(
+            ATOM_C2758
+        )
+
+
+def test_job_config_label_and_row():
+    cfg = JobConfig(frequency=2.4 * GHZ, block_size=512 * MB, n_mappers=3)
+    assert cfg.label == "2.4GHz/512MB/3m"
+    assert cfg.as_row() == (2.4, 512, 3)
+
+
+def test_grid_roundtrip():
+    f, b, m = config_grid(ATOM_C2758)
+    configs = grid_to_configs(f, b, m)
+    assert len(configs) == 160
+    assert configs[0].validate_for(ATOM_C2758)
+
+
+def test_iter_configs_restricted_mappers():
+    configs = list(iter_configs(ATOM_C2758, mappers=[4]))
+    assert len(configs) == 20
+    assert all(c.n_mappers == 4 for c in configs)

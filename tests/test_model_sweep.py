@@ -1,0 +1,68 @@
+"""Sweep-harness tests."""
+
+import numpy as np
+import pytest
+
+from repro.model.sweep import sweep_pair, sweep_solo
+from repro.utils.units import GB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import get_app
+
+
+@pytest.fixture(scope="module")
+def solo():
+    return sweep_solo(AppInstance(get_app("st"), 5 * GB))
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return sweep_pair(
+        AppInstance(get_app("st"), 5 * GB), AppInstance(get_app("wc"), 5 * GB)
+    )
+
+
+class TestSolo:
+    def test_covers_160_configs(self, solo):
+        assert len(solo.edp) == 160
+
+    def test_best_is_minimum(self, solo):
+        assert solo.best_edp == pytest.approx(float(solo.edp.min()))
+        assert solo.edp[solo.best_index] == solo.best_edp
+
+    def test_best_config_consistent_with_index(self, solo):
+        cfg = solo.best_config
+        i = solo.best_index
+        assert cfg.frequency == solo.freq[i]
+        assert cfg.block_size == int(solo.block[i])
+        assert cfg.n_mappers == int(solo.mappers[i])
+
+    def test_config_at_arbitrary_index(self, solo):
+        cfg = solo.config_at(0)
+        cfg.validate_for(__import__("repro.hardware.node", fromlist=["ATOM_C2758"]).ATOM_C2758)
+
+
+class TestPair:
+    def test_covers_2800_configs(self, pair):
+        assert len(pair.edp) == 2800
+
+    def test_best_configs_partition_cores(self, pair):
+        ca, cb = pair.best_configs
+        assert ca.n_mappers + cb.n_mappers == 8
+
+    def test_best_for_partition(self, pair):
+        idx, edp = pair.best_for_partition(4, 4)
+        assert pair.mappers_a[idx] == 4 and pair.mappers_b[idx] == 4
+        assert edp >= pair.best_edp
+
+    def test_best_for_partition_unknown(self, pair):
+        with pytest.raises(ValueError):
+            pair.best_for_partition(7, 7)
+
+    def test_custom_partitions(self):
+        sw = sweep_pair(
+            AppInstance(get_app("st"), 1 * GB),
+            AppInstance(get_app("wc"), 1 * GB),
+            partitions=[(2, 6), (6, 2)],
+        )
+        assert len(sw.edp) == 800
+        assert set(np.unique(sw.mappers_a)) == {2.0, 6.0}

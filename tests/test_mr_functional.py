@@ -1,0 +1,54 @@
+"""In-memory MapReduce runtime semantics."""
+
+import pytest
+
+from repro.mapreduce.functional import MapReduceRuntime
+from repro.workloads.micro import WordCount
+
+
+def test_split_sizes():
+    rt = MapReduceRuntime(split_records=10)
+    splits = list(rt.make_splits((i, i) for i in range(25)))
+    assert [len(s) for s in splits] == [10, 10, 5]
+
+
+def test_partitioning_is_total_and_deterministic():
+    rt = MapReduceRuntime(n_reducers=4)
+    parts = [rt.partition(k) for k in ["a", "b", (1, 2), 17]]
+    assert all(0 <= p < 4 for p in parts)
+    assert parts == [rt.partition(k) for k in ["a", "b", (1, 2), 17]]
+
+
+def test_run_counts_accounting():
+    rt = MapReduceRuntime(n_reducers=2, split_records=100, use_combiner=False)
+    app = WordCount()
+    out = rt.run_generated(app, 250, seed=0)
+    assert out.n_map_tasks == 3
+    assert out.n_input_records == 250
+    assert out.n_intermediate_records == 2500  # 10 words per line
+
+
+def test_reducer_count_respected():
+    rt = MapReduceRuntime(n_reducers=5)
+    out = rt.run_generated(WordCount(), 50, seed=0)
+    assert len(out.partitions) == 5
+
+
+def test_all_keys_routed_to_their_partition():
+    rt = MapReduceRuntime(n_reducers=3)
+    out = rt.run_generated(WordCount(), 100, seed=1)
+    for pid, part in enumerate(out.partitions):
+        for key, _v in part:
+            assert rt.partition(key) == pid
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        MapReduceRuntime(n_reducers=0)
+    with pytest.raises(ValueError):
+        MapReduceRuntime(split_records=0)
+
+
+def test_run_generated_validation():
+    with pytest.raises(ValueError):
+        MapReduceRuntime().run_generated(WordCount(), 0)

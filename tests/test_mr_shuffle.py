@@ -1,0 +1,122 @@
+"""Shuffle machinery tests: spill, merge, group."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.shuffle import (
+    MapOutputBuffer,
+    ShuffleService,
+    SpillSegment,
+    group_sorted,
+    merge_segments,
+    sort_key,
+)
+
+
+class TestSpillSegment:
+    def test_sorted_required(self):
+        with pytest.raises(ValueError, match="sorted"):
+            SpillSegment(partition=0, records=(("b", 1), ("a", 2)))
+
+    def test_bytes_estimate_positive(self):
+        seg = SpillSegment(partition=0, records=(("a", 1), ("b", 2)))
+        assert seg.n_bytes_estimate > 0
+
+
+class TestMapOutputBuffer:
+    def test_spills_when_full(self):
+        buf = MapOutputBuffer(n_partitions=2, buffer_records=4)
+        for i in range(4):
+            buf.emit(i % 2, f"k{i}", i)
+        assert buf.n_spills == 1
+        assert len(buf.segments) == 2  # one run per non-empty partition
+
+    def test_close_flushes_remainder(self):
+        buf = MapOutputBuffer(n_partitions=1, buffer_records=100)
+        buf.emit(0, "z", 1)
+        buf.emit(0, "a", 2)
+        segments = buf.close()
+        assert len(segments) == 1
+        assert [k for k, _v in segments[0].records] == ["a", "z"]
+
+    def test_empty_close(self):
+        assert MapOutputBuffer(n_partitions=2).close() == []
+
+    def test_partition_range_checked(self):
+        buf = MapOutputBuffer(n_partitions=2)
+        with pytest.raises(IndexError):
+            buf.emit(5, "k", 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MapOutputBuffer(n_partitions=0)
+        with pytest.raises(ValueError):
+            MapOutputBuffer(n_partitions=1, buffer_records=0)
+
+
+class TestMerge:
+    def test_merges_sorted_runs(self):
+        a = SpillSegment(0, (("a", 1), ("c", 2)))
+        b = SpillSegment(0, (("b", 3), ("d", 4)))
+        merged = [k for k, _v in merge_segments([a, b])]
+        assert merged == ["a", "b", "c", "d"]
+
+    def test_cross_partition_rejected(self):
+        a = SpillSegment(0, (("a", 1),))
+        b = SpillSegment(1, (("b", 2),))
+        with pytest.raises(ValueError):
+            list(merge_segments([a, b]))
+
+    def test_empty(self):
+        assert list(merge_segments([])) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        runs=st.lists(
+            st.lists(st.tuples(st.text(max_size=4), st.integers()), max_size=12),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_merge_is_globally_sorted_and_complete(self, runs):
+        segments = [
+            SpillSegment(0, tuple(sorted(r, key=lambda kv: sort_key(kv[0]))))
+            for r in runs
+        ]
+        merged = list(merge_segments(segments))
+        keys = [sort_key(k) for k, _v in merged]
+        assert keys == sorted(keys)
+        assert len(merged) == sum(len(r) for r in runs)
+
+
+class TestGroupSorted:
+    def test_groups_runs_of_equal_keys(self):
+        stream = [("a", 1), ("a", 2), ("b", 3)]
+        groups = list(group_sorted(stream))
+        assert groups == [("a", [1, 2]), ("b", [3])]
+
+    def test_empty_stream(self):
+        assert list(group_sorted([])) == []
+
+
+class TestShuffleService:
+    def test_fetch_merges_across_tasks(self):
+        svc = ShuffleService(n_partitions=1)
+        svc.register([SpillSegment(0, (("a", 1), ("b", 2)))])
+        svc.register([SpillSegment(0, (("a", 3),))])
+        groups = dict(svc.fetch(0))
+        assert groups["a"] == [1, 3]
+        assert svc.total_segments == 2
+        assert svc.total_bytes_estimate > 0
+
+    def test_fetch_empty_partition(self):
+        svc = ShuffleService(n_partitions=2)
+        assert list(svc.fetch(1)) == []
+
+    def test_range_checks(self):
+        svc = ShuffleService(n_partitions=1)
+        with pytest.raises(IndexError):
+            svc.fetch(1)
+        with pytest.raises(IndexError):
+            svc.register([SpillSegment(0, ())] and [SpillSegment(3, ())])

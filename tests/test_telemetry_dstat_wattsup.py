@@ -1,0 +1,101 @@
+"""dstat and Wattsup simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.engine import NodeEngine
+from repro.mapreduce.job import JobSpec
+from repro.model.config import JobConfig
+from repro.telemetry.dstat import DstatMonitor, average_rows
+from repro.telemetry.wattsup import PowerTrace, WattsupMeter
+from repro.utils.units import GB, GHZ, MB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import get_app
+
+
+@pytest.fixture(scope="module")
+def engine_trace():
+    engine = NodeEngine()
+    engine.submit(
+        JobSpec(
+            instance=AppInstance(get_app("st"), 1 * GB),
+            config=JobConfig(frequency=2.4 * GHZ, block_size=256 * MB, n_mappers=4),
+        )
+    )
+    engine.run_to_completion()
+    return engine.intervals
+
+
+class TestDstat:
+    def test_rows_sum_to_100(self):
+        rows = DstatMonitor().sample_run(
+            AppInstance(get_app("wc"), 5 * GB), 2.4 * GHZ, 256 * MB, 8, seed=0
+        )
+        assert rows
+        for r in rows:
+            total = r.cpu_user + r.cpu_sys + r.cpu_idle + r.cpu_iowait
+            assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_io_bound_app_shows_iowait(self):
+        rows = DstatMonitor().sample_run(
+            AppInstance(get_app("st"), 5 * GB), 2.4 * GHZ, 256 * MB, 8, seed=0
+        )
+        avg = average_rows(rows)
+        assert avg["cpu_iowait"] > 25.0
+
+    def test_compute_bound_app_shows_user(self):
+        rows = DstatMonitor().sample_run(
+            AppInstance(get_app("hmm"), 5 * GB), 2.4 * GHZ, 256 * MB, 8, seed=0
+        )
+        avg = average_rows(rows)
+        assert avg["cpu_user"] > 70.0
+        assert avg["cpu_iowait"] < 10.0
+
+    def test_rows_from_engine_intervals(self, engine_trace):
+        rows = DstatMonitor().rows_from_intervals(engine_trace)
+        assert len(rows) >= 1
+        for r in rows:
+            assert 0 <= r.cpu_user <= 100
+
+    def test_average_rows_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_rows([])
+
+
+class TestWattsup:
+    def test_trace_from_intervals_covers_horizon(self, engine_trace):
+        meter = WattsupMeter(noise_watts=0.0)
+        end = max(i.end for i in engine_trace)
+        trace = meter.trace_from_intervals(engine_trace, until=end + 10)
+        assert trace.duration_s >= end + 9
+        idle = trace.samples_watts[-1]
+        assert idle == pytest.approx(trace.idle_watts, abs=0.5)
+
+    def test_busy_seconds_above_idle(self, engine_trace):
+        meter = WattsupMeter(noise_watts=0.0)
+        trace = meter.trace_from_intervals(engine_trace)
+        assert trace.samples_watts[0] > trace.idle_watts
+
+    def test_average_above_idle(self):
+        trace = PowerTrace(samples_watts=np.array([40.0, 42.0]), idle_watts=31.0)
+        assert trace.average_above_idle == pytest.approx(10.0)
+        assert trace.energy_joules == pytest.approx(82.0)
+
+    def test_window(self):
+        trace = PowerTrace(samples_watts=np.arange(10.0), idle_watts=0.0)
+        sub = trace.window(2, 5)
+        assert sub.samples_watts.tolist() == [2.0, 3.0, 4.0]
+        with pytest.raises(ValueError):
+            trace.window(5, 2)
+
+    def test_constant_trace(self):
+        meter = WattsupMeter(noise_watts=0.0)
+        trace = meter.constant_trace(45.0, 12.0)
+        assert trace.duration_s == 12
+        assert trace.average_watts == pytest.approx(45.0)
+        with pytest.raises(ValueError):
+            meter.constant_trace(-1.0, 5.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace(samples_watts=np.array([]), idle_watts=30.0)

@@ -1,0 +1,51 @@
+"""EDP / energy metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.metrics import (
+    absolute_percentage_error,
+    edp,
+    edp_from_energy,
+    edp_improvement,
+    energy_joules,
+    relative_error,
+)
+
+
+def test_energy_and_edp_algebra():
+    assert float(energy_joules(40.0, 10.0)) == 400.0
+    assert float(edp(40.0, 10.0)) == 4000.0
+    assert float(edp_from_energy(400.0, 10.0)) == 4000.0
+
+
+def test_edp_broadcasts():
+    out = edp(np.array([10.0, 20.0]), np.array([1.0, 2.0]))
+    assert out.tolist() == [10.0, 80.0]
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        energy_joules(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        edp_from_energy(1.0, -1.0)
+
+
+def test_edp_improvement():
+    assert float(edp_improvement(200.0, 100.0)) == 2.0
+    with pytest.raises(ValueError):
+        edp_improvement(1.0, 0.0)
+
+
+def test_relative_error_percent():
+    assert float(relative_error(110.0, 100.0)) == pytest.approx(10.0)
+    assert float(relative_error(100.0, 100.0)) == 0.0
+    with pytest.raises(ValueError):
+        relative_error(1.0, 0.0)
+
+
+def test_ape():
+    assert float(absolute_percentage_error(90.0, 100.0)) == pytest.approx(10.0)
+    assert float(absolute_percentage_error(110.0, 100.0)) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        absolute_percentage_error(1.0, 0.0)

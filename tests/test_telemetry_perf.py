@@ -1,0 +1,75 @@
+"""Simulated-perf tests."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.perf import PMU_EVENTS, PerfSampler
+from repro.utils.units import GB, GHZ, MB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import get_app
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return AppInstance(get_app("wc"), 5 * GB)
+
+
+def _sample(inst, seed=0, noise=0.15, duration=None):
+    return PerfSampler(noise_sigma=noise).sample(
+        inst, 2.4 * GHZ, 256 * MB, 8, seed=seed, duration_s=duration
+    )
+
+
+def test_all_events_reported(inst):
+    report = _sample(inst)
+    for group in PMU_EVENTS:
+        for event in group:
+            assert event in report.counts
+            assert report.counts[event] >= 0
+
+
+def test_multiplexing_fraction(inst):
+    report = _sample(inst)
+    assert report.enabled_fraction == pytest.approx(1 / len(PMU_EVENTS))
+
+
+def test_ipc_close_to_model_truth(inst):
+    report = _sample(inst, noise=0.0)
+    # Noise-free sampling recovers the cost model's effective IPC.
+    assert 0.5 < report.ipc < 1.1
+
+
+def test_mpki_matches_profile_without_noise(inst):
+    report = _sample(inst, noise=0.0)
+    assert report.mpki("LLC-load-misses") == pytest.approx(
+        inst.profile.llc_mpki0, rel=0.05
+    )
+    assert report.mpki("branch-misses") == pytest.approx(
+        inst.profile.branch_mpki, rel=0.05
+    )
+
+
+def test_noise_shrinks_with_longer_windows(inst):
+    short = [
+        _sample(inst, seed=s, duration=4.0).mpki("LLC-load-misses") for s in range(25)
+    ]
+    long = [
+        _sample(inst, seed=s, duration=64.0).mpki("LLC-load-misses") for s in range(25)
+    ]
+    assert np.std(long) < np.std(short)
+
+
+def test_deterministic_by_seed(inst):
+    a = _sample(inst, seed=3).counts
+    b = _sample(inst, seed=3).counts
+    assert a == b
+
+
+def test_invalid_window(inst):
+    with pytest.raises(ValueError):
+        _sample(inst, duration=0.0)
+
+
+def test_negative_noise_rejected():
+    with pytest.raises(ValueError):
+        PerfSampler(noise_sigma=-0.1)

@@ -1,0 +1,123 @@
+"""Trace-analysis tests over real engine interval records."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.engine import NodeEngine
+from repro.mapreduce.job import JobSpec
+from repro.model.config import JobConfig
+from repro.telemetry.trace import (
+    concurrency_histogram,
+    node_utilization,
+    power_timeseries,
+    summarize_jobs,
+)
+from repro.utils.units import GB, GHZ, MB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import get_app
+
+
+def _spec(code, gb=1, m=4):
+    return JobSpec(
+        instance=AppInstance(get_app(code), gb * GB),
+        config=JobConfig(frequency=2.4 * GHZ, block_size=256 * MB, n_mappers=m),
+    )
+
+
+@pytest.fixture(scope="module")
+def pair_trace():
+    engine = NodeEngine()
+    a, b = _spec("st", gb=1), _spec("wc", gb=5)
+    engine.submit(a)
+    engine.submit(b)
+    results = engine.run_to_completion()
+    return engine, results
+
+
+class TestJobSummaries:
+    def test_every_job_summarised(self, pair_trace):
+        engine, results = pair_trace
+        summaries = summarize_jobs(engine.intervals)
+        assert set(summaries) == {r.spec.job_id for r in results}
+
+    def test_spans_match_results(self, pair_trace):
+        engine, results = pair_trace
+        summaries = summarize_jobs(engine.intervals)
+        for r in results:
+            s = summaries[r.spec.job_id]
+            assert s.first_seen == pytest.approx(r.start_time)
+            assert s.last_seen == pytest.approx(r.finish_time)
+
+    def test_short_job_fully_shared_long_job_partially(self, pair_trace):
+        engine, results = pair_trace
+        summaries = summarize_jobs(engine.intervals)
+        short = min(results, key=lambda r: r.finish_time)
+        long = max(results, key=lambda r: r.finish_time)
+        assert summaries[short.spec.job_id].shared_fraction == pytest.approx(1.0)
+        assert 0.0 < summaries[long.spec.job_id].shared_fraction < 1.0
+        assert summaries[long.spec.job_id].solo_seconds > 0
+
+    def test_busy_core_seconds_positive(self, pair_trace):
+        engine, _ = pair_trace
+        for s in summarize_jobs(engine.intervals).values():
+            assert s.busy_core_seconds > 0
+            assert 0 <= s.avg_corunners <= 1.0
+
+
+class TestNodeUtilization:
+    def test_duty_cycle_and_idle_horizon(self, pair_trace):
+        engine, results = pair_trace
+        makespan = max(r.finish_time for r in results)
+        u = node_utilization(
+            engine.intervals, horizon=makespan + 100,
+            idle_power=engine.node.power.idle_power,
+        )
+        assert u.busy_time == pytest.approx(makespan)
+        assert u.duty_cycle < 1.0
+        assert 0 < u.avg_cores_busy <= 8
+        assert u.avg_power_watts >= engine.node.power.idle_power * 0.99
+
+    def test_power_consistent_with_energy_accounting(self, pair_trace):
+        engine, results = pair_trace
+        makespan = max(r.finish_time for r in results)
+        u = node_utilization(
+            engine.intervals, horizon=makespan,
+            idle_power=engine.node.power.idle_power,
+        )
+        assert u.avg_power_watts * makespan == pytest.approx(
+            engine.energy_between(0, makespan), rel=1e-6
+        )
+
+    def test_requires_positive_horizon(self):
+        with pytest.raises(ValueError):
+            node_utilization([], horizon=None)
+
+
+class TestPowerTimeseries:
+    def test_matches_wattsup_without_noise(self, pair_trace):
+        from repro.telemetry.wattsup import WattsupMeter
+
+        engine, _ = pair_trace
+        times, watts = power_timeseries(
+            engine.intervals, idle_power=engine.node.power.idle_power
+        )
+        trace = WattsupMeter(noise_watts=0.0).trace_from_intervals(engine.intervals)
+        # Interval-mean (wattsup) vs point-sample (timeseries) agree
+        # everywhere except segment-boundary seconds.
+        agree = np.isclose(watts[: len(trace.samples_watts)],
+                           trace.samples_watts[: len(watts)], rtol=0.02)
+        assert agree.mean() > 0.9
+
+    def test_step_validation(self, pair_trace):
+        engine, _ = pair_trace
+        with pytest.raises(ValueError):
+            power_timeseries(engine.intervals, step_s=0.0)
+
+
+class TestConcurrencyHistogram:
+    def test_levels_sum_to_busy_time(self, pair_trace):
+        engine, results = pair_trace
+        hist = concurrency_histogram(engine.intervals)
+        assert set(hist) == {1, 2}
+        makespan = max(r.finish_time for r in results)
+        assert sum(hist.values()) == pytest.approx(makespan)

@@ -1,0 +1,44 @@
+"""ASCII table/series rendering tests."""
+
+import pytest
+
+from repro.utils.tables import render_series, render_table
+
+
+def test_render_table_alignment_and_title():
+    out = render_table(["a", "bb"], [[1, 2.5], ["xx", 3.0]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert set(lines[1]) == {"="}
+    assert "a" in lines[2] and "bb" in lines[2]
+    assert "2.500" in out  # default float format
+
+
+def test_render_table_ragged_row_rejected():
+    with pytest.raises(ValueError, match="row 0"):
+        render_table(["a", "b"], [[1]])
+
+
+def test_render_table_custom_floatfmt():
+    out = render_table(["x"], [[3.14159]], floatfmt=".1f")
+    assert "3.1" in out and "3.14" not in out
+
+
+def test_render_series_basic():
+    out = render_series({"s1": [1.0, 2.0], "s2": [3.0, 4.0]}, x_labels=["a", "b"])
+    assert "s1" in out and "s2" in out and "a" in out
+
+
+def test_render_series_length_mismatch():
+    with pytest.raises(ValueError, match="length differs"):
+        render_series({"s1": [1.0], "s2": [1.0, 2.0]})
+
+
+def test_render_series_empty_rejected():
+    with pytest.raises(ValueError, match="no series"):
+        render_series({})
+
+
+def test_render_series_xlabel_mismatch():
+    with pytest.raises(ValueError, match="x_labels"):
+        render_series({"s": [1.0, 2.0]}, x_labels=["only-one"])

@@ -1,0 +1,61 @@
+"""Unit-constant and formatting tests."""
+
+import pytest
+
+from repro.utils.units import GB, GHZ, KB, MB, MHZ, fmt_bytes, fmt_duration, fmt_freq
+
+
+def test_binary_size_constants():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+
+
+def test_frequency_constants():
+    assert GHZ == 1e9
+    assert MHZ == 1e6
+
+
+@pytest.mark.parametrize(
+    "value, expected",
+    [
+        (512, "512B"),
+        (1536, "1.5KB"),
+        (64 * MB, "64MB"),
+        (10 * GB, "10GB"),
+        (2.5 * GB, "2.5GB"),
+    ],
+)
+def test_fmt_bytes(value, expected):
+    assert fmt_bytes(value) == expected
+
+
+@pytest.mark.parametrize(
+    "value, expected",
+    [
+        (2.4 * GHZ, "2.4GHz"),
+        (1.2 * GHZ, "1.2GHz"),
+        (800 * MHZ, "800MHz"),
+    ],
+)
+def test_fmt_freq(value, expected):
+    assert fmt_freq(value) == expected
+
+
+@pytest.mark.parametrize(
+    "value, expected",
+    [
+        (5e-7, "0.5us"),
+        (0.002, "2ms"),
+        (1.5, "1.5s"),
+        (90, "90s"),
+        (600, "10min"),
+        (7200, "2h"),
+    ],
+)
+def test_fmt_duration(value, expected):
+    assert fmt_duration(value) == expected
+
+
+def test_fmt_duration_negative():
+    assert fmt_duration(-3.0) == "-3s"

@@ -1,0 +1,44 @@
+"""Argument-validation helper tests."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction_sum,
+    check_in,
+    check_positive,
+    check_probability,
+)
+
+
+def test_check_positive_strict():
+    assert check_positive("x", 1.0) == 1.0
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive("x", 0.0)
+
+
+def test_check_positive_non_strict_allows_zero():
+    assert check_positive("x", 0.0, strict=False) == 0.0
+    with pytest.raises(ValueError):
+        check_positive("x", -1.0, strict=False)
+
+
+def test_check_probability_bounds():
+    assert check_probability("p", 0.0) == 0.0
+    assert check_probability("p", 1.0) == 1.0
+    with pytest.raises(ValueError):
+        check_probability("p", 1.01)
+    with pytest.raises(ValueError):
+        check_probability("p", -0.01)
+
+
+def test_check_in():
+    assert check_in("k", 2, (1, 2, 3)) == 2
+    with pytest.raises(ValueError, match="k must be one of"):
+        check_in("k", 4, (1, 2, 3))
+
+
+def test_check_fraction_sum():
+    check_fraction_sum("f", [0.5, 0.5])
+    with pytest.raises(ValueError, match="must sum to"):
+        check_fraction_sum("f", [0.5, 0.6])
+    check_fraction_sum("f", [1.0, 1.0], total=2.0)

@@ -1,0 +1,153 @@
+"""Functional correctness of the seven analytics applications."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.functional import MapReduceRuntime
+from repro.workloads.analytics import (
+    CollaborativeFiltering,
+    FPGrowth,
+    HiddenMarkovModel,
+    KMeans,
+    NaiveBayes,
+    PageRank,
+    SupportVectorMachine,
+)
+
+
+def runtime():
+    return MapReduceRuntime(n_reducers=2, split_records=64)
+
+
+class TestNaiveBayes:
+    def test_prior_counts_sum_to_records(self):
+        app = NaiveBayes()
+        out = runtime().run(app, app.generate_records(200, seed=0))
+        priors = {k: v for k, v in out.records if isinstance(k, tuple) and k[0] == "prior"}
+        assert sum(priors.values()) == 200
+
+    def test_feature_counts_per_label(self):
+        app = NaiveBayes(n_buckets=4)
+        out = runtime().run(app, app.generate_records(100, seed=1))
+        d = out.as_dict()
+        n_pos = d.get(("prior", 1), 0)
+        # Every feature dimension contributes exactly n_pos counts.
+        feat0 = sum(v for k, v in d.items() if k not in (("prior", 1), ("prior", -1))
+                    and k[0] == 1 and k[1] == 0)
+        assert feat0 == n_pos
+
+    def test_bucket_count_validation(self):
+        with pytest.raises(ValueError):
+            NaiveBayes(n_buckets=1)
+
+
+class TestFPGrowth:
+    def test_singleton_supports_match_brute_force(self):
+        app = FPGrowth()
+        records = list(app.generate_records(120, seed=2))
+        out = runtime().run(app, records)
+        d = out.as_dict()
+        from collections import Counter
+
+        truth = Counter()
+        for _txn, basket in records:
+            for item in basket:
+                truth[(item,)] += 1
+        singles = {k: v for k, v in d.items() if len(k) == 1}
+        assert singles == dict(truth)
+
+    def test_pair_supports_at_most_singleton(self):
+        app = FPGrowth()
+        out = runtime().run(app, app.generate_records(100, seed=3))
+        d = out.as_dict()
+        for key, support in d.items():
+            if len(key) == 2:
+                assert support <= d.get((key[0],), 0)
+                assert support <= d.get((key[1],), 0)
+
+
+class TestCollaborativeFiltering:
+    def test_cooccurrence_symmetric_pairs(self):
+        app = CollaborativeFiltering()
+        out = runtime().run(app, app.generate_records(300, seed=4))
+        for (a, b), _count in out.records:
+            assert a < b  # canonical pair order from combinations()
+
+    def test_counts_bounded_by_users(self):
+        app = CollaborativeFiltering()
+        records = list(app.generate_records(200, seed=5))
+        n_users = len({u for u, _ in records})
+        out = runtime().run(app, records)
+        assert all(c <= n_users for _pair, c in out.records)
+
+
+class TestSVM:
+    def test_gradient_moves_toward_separation(self):
+        app = SupportVectorMachine(n_features=8)
+        out = runtime().run(app, app.generate_records(400, seed=6))
+        grad = np.asarray(out.as_dict()["grad"])
+        assert grad.shape == (8,)
+        # With zero weights every point violates the margin; the mean
+        # hinge gradient points away from the positive-class mean.
+        records = list(app.generate_records(400, seed=6))
+        mean_pos = np.mean([x for y, x in records if y == 1], axis=0)
+        assert float(grad @ mean_pos) < 0
+
+    def test_weight_shape_validated(self):
+        with pytest.raises(ValueError):
+            SupportVectorMachine(n_features=4, weights=np.zeros(5))
+
+
+class TestPageRank:
+    def test_one_iteration_matches_dense_computation(self):
+        app = PageRank(damping=0.85)
+        edges = [(0, 1), (0, 2), (1, 2), (2, 0)]
+        ranks = {0: 1.0, 1: 1.0, 2: 1.0}
+        degree = {0: 2, 1: 1, 2: 1}
+        app.set_ranks(ranks, degree)
+        out = runtime().run(app, edges)
+        d = out.as_dict()
+        assert d[1] == pytest.approx(0.15 + 0.85 * 0.5)
+        assert d[2] == pytest.approx(0.15 + 0.85 * (0.5 + 1.0))
+        assert d[0] == pytest.approx(0.15 + 0.85 * 1.0)
+
+    def test_damping_validation(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=1.0)
+
+
+class TestHMM:
+    def test_emission_counts_sum_to_total_observations(self):
+        app = HiddenMarkovModel(n_states=3, n_symbols=5)
+        records = list(app.generate_records(20, seed=7))
+        total_obs = sum(len(obs) for _sid, obs in records)
+        out = runtime().run(app, records)
+        total = sum(v for _k, v in out.records)
+        # Posterior state mass sums to 1 per observation.
+        assert total == pytest.approx(total_obs, rel=1e-6)
+
+    def test_counts_nonnegative(self):
+        app = HiddenMarkovModel()
+        out = runtime().run(app, app.generate_records(10, seed=8))
+        assert all(v >= 0 for _k, v in out.records)
+
+
+class TestKMeans:
+    def test_centroid_update_matches_numpy(self):
+        app = KMeans(n_clusters=3, n_dims=4, seed=1)
+        records = list(app.generate_records(200, seed=9))
+        out = runtime().run(app, records)
+        # Recompute assignment + means directly.
+        X = np.array([x for _c, x in records])
+        assign = np.argmin(
+            np.linalg.norm(X[:, None, :] - app.centroids[None], axis=2), axis=1
+        )
+        for cluster, (mean, count) in out.as_dict().items():
+            members = X[assign == cluster]
+            assert count == len(members)
+            assert np.allclose(mean, members.mean(axis=0))
+
+    def test_set_centroids_shape_validated(self):
+        app = KMeans(n_clusters=2, n_dims=3)
+        with pytest.raises(ValueError):
+            app.set_centroids(np.zeros((3, 3)))

@@ -1,0 +1,79 @@
+"""Synthetic data-generator tests."""
+
+import numpy as np
+
+from repro.workloads import datagen
+
+
+def test_zipf_text_deterministic_and_skewed():
+    a = list(datagen.zipf_text_lines(50, seed=1))
+    b = list(datagen.zipf_text_lines(50, seed=1))
+    assert a == b
+    words = " ".join(a).split()
+    counts = {}
+    for w in words:
+        counts[w] = counts.get(w, 0) + 1
+    freqs = sorted(counts.values(), reverse=True)
+    # Zipf skew: the most common word dominates the median one.
+    assert freqs[0] >= 5 * freqs[len(freqs) // 2]
+
+
+def test_terasort_record_format():
+    recs = list(datagen.terasort_records(10, seed=0))
+    assert len(recs) == 10
+    for key, payload in recs:
+        assert len(key) == 10 and len(payload) == 90
+        assert all(32 <= c < 127 for c in payload)
+
+
+def test_kv_records_key_space():
+    recs = list(datagen.kv_records(100, key_space=10, seed=0))
+    assert all(0 <= k < 10 for k, _v in recs)
+    assert all(0.0 <= v < 1.0 for _k, v in recs)
+
+
+def test_labeled_vectors_separable():
+    recs = list(datagen.labeled_vectors(400, seed=0))
+    pos = np.array([x for y, x in recs if y == 1])
+    neg = np.array([x for y, x in recs if y == -1])
+    assert len(pos) > 50 and len(neg) > 50
+    # The class means are separated by construction.
+    assert np.linalg.norm(pos.mean(axis=0) - neg.mean(axis=0)) > 1.0
+
+
+def test_rating_triples_ranges():
+    recs = list(datagen.rating_triples(100, n_users=5, n_items=7, seed=0))
+    assert all(0 <= u < 5 for u, _ in recs)
+    assert all(0 <= i < 7 and 1 <= r <= 5 for _, (i, r) in recs)
+
+
+def test_transactions_sorted_unique_items():
+    for _txn, basket in datagen.transactions(50, seed=0):
+        assert list(basket) == sorted(set(basket))
+        assert len(basket) >= 1
+
+
+def test_graph_edges_no_self_loops():
+    for src, dst in datagen.graph_edges(200, n_nodes=20, seed=0):
+        assert src != dst
+        assert 0 <= src < 20 and 0 <= dst < 20
+
+
+def test_hmm_sequences_shape():
+    recs = list(datagen.hmm_sequences(5, n_symbols=6, seq_len=12, seed=0))
+    assert len(recs) == 5
+    for _sid, obs in recs:
+        assert len(obs) == 12
+        assert all(0 <= o < 6 for o in obs)
+
+
+def test_points_clustered():
+    recs = list(datagen.points(300, n_dims=4, n_clusters=3, seed=0))
+    by_cluster = {}
+    for c, x in recs:
+        by_cluster.setdefault(c, []).append(x)
+    assert set(by_cluster) == {0, 1, 2}
+    centroids = [np.mean(v, axis=0) for v in by_cluster.values()]
+    # Cluster centres are far apart relative to intra-cluster spread.
+    d01 = np.linalg.norm(centroids[0] - centroids[1])
+    assert d01 > 2.0

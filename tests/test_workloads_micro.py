@@ -1,0 +1,82 @@
+"""Functional correctness of the four micro-benchmarks."""
+
+from collections import Counter
+
+from repro.mapreduce.functional import MapReduceRuntime
+from repro.workloads import datagen
+from repro.workloads.micro import Grep, Sort, TeraSort, WordCount
+
+
+def runtime(**kw):
+    return MapReduceRuntime(n_reducers=3, split_records=50, **kw)
+
+
+class TestWordCount:
+    def test_counts_match_brute_force(self):
+        app = WordCount()
+        lines = list(datagen.zipf_text_lines(200, seed=3))
+        expected = Counter(w for line in lines for w in line.split())
+        out = runtime().run(app, enumerate(lines))
+        assert out.as_dict() == dict(expected)
+
+    def test_combiner_reduces_intermediate_volume(self):
+        app = WordCount()
+        records = list(app.generate_records(300, seed=1))
+        with_comb = runtime(use_combiner=True).run(app, records)
+        without = runtime(use_combiner=False).run(app, records)
+        assert with_comb.as_dict() == without.as_dict()
+        assert with_comb.n_intermediate_records < without.n_intermediate_records
+
+
+class TestSort:
+    def test_output_sorted_within_partitions(self):
+        app = Sort()
+        out = runtime().run(app, app.generate_records(500, seed=2))
+        for part in out.partitions:
+            keys = [k for k, _v in part]
+            assert keys == sorted(keys, key=lambda k: (type(k).__name__, k, repr(k)))
+
+    def test_multiset_preserved(self):
+        app = Sort()
+        records = list(app.generate_records(300, seed=5))
+        out = runtime().run(app, records)
+        assert Counter(out.records) == Counter(records)
+
+    def test_no_combiner(self):
+        assert not Sort().has_combiner
+
+
+class TestGrep:
+    def test_counts_pattern_occurrences(self):
+        app = Grep(pattern="ab")
+        lines = ["abab x", "no match", "ab"]
+        out = runtime().run(app, enumerate(lines))
+        assert out.as_dict() == {"ab": 3}
+
+    def test_no_match_empty_output(self):
+        app = Grep(pattern="zzzzzz")
+        out = runtime().run(app, enumerate(["aaa", "bbb"]))
+        assert out.records == []
+
+    def test_empty_pattern_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Grep(pattern="")
+
+
+class TestTeraSort:
+    def test_globally_recoverable_order(self):
+        app = TeraSort()
+        records = list(app.generate_records(200, seed=7))
+        out = runtime().run(app, records)
+        assert Counter(k for k, _ in out.records) == Counter(k for k, _ in records)
+        for part in out.partitions:
+            keys = [k for k, _v in part]
+            assert keys == sorted(keys, key=lambda k: (type(k).__name__, k, repr(k)))
+
+    def test_payloads_preserved(self):
+        app = TeraSort()
+        records = list(app.generate_records(50, seed=9))
+        out = runtime().run(app, records)
+        assert Counter(v for _k, v in out.records) == Counter(v for _k, v in records)

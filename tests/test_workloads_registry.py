@@ -1,0 +1,104 @@
+"""Registry, profile and class-assignment tests."""
+
+import pytest
+
+from repro.utils.units import GB
+from repro.workloads.base import DATA_SIZES, AppClass, AppInstance
+from repro.workloads.profiles import PROFILES, class_for, profile_for
+from repro.workloads.registry import (
+    ALL_APPS,
+    TESTING_APPS,
+    TRAINING_APPS,
+    all_instances,
+    all_pairs,
+    get_app,
+    instances_for,
+)
+
+
+def test_eleven_applications():
+    assert len(ALL_APPS) == 11
+    assert set(TRAINING_APPS) | set(TESTING_APPS) == set(ALL_APPS)
+    assert not set(TRAINING_APPS) & set(TESTING_APPS)
+
+
+def test_paper_split_of_known_and_unknown():
+    # §7: NB, CF, SVM, PR, HMM, KM are the unknown testing apps.
+    assert set(TESTING_APPS) == {"nb", "cf", "svm", "pr", "hmm", "km"}
+
+
+def test_table3_class_assignments():
+    """Classes listed in the paper's Table 3 scenarios."""
+    expected = {
+        "svm": "C", "wc": "C", "hmm": "C",
+        "ts": "H", "gp": "H",
+        "st": "I",
+        "cf": "M", "fp": "M",
+    }
+    for code, cls in expected.items():
+        assert get_app(code).app_class.value == cls
+
+
+def test_every_class_has_a_training_representative():
+    classes = {get_app(c).app_class for c in TRAINING_APPS}
+    assert classes == set(AppClass)
+
+
+def test_get_app_caches_instances():
+    assert get_app("wc") is get_app("wc")
+
+
+def test_get_app_unknown_code():
+    with pytest.raises(KeyError, match="unknown application"):
+        get_app("nope")
+
+
+def test_data_sizes_match_paper():
+    assert [s // GB for s in DATA_SIZES] == [1, 5, 10]
+
+
+def test_instance_counts():
+    assert len(all_instances()) == 33
+    assert len(all_pairs()) == 528  # the paper's §7 workload count
+    assert len(instances_for(("wc",), sizes=(1 * GB,))) == 1
+
+
+def test_all_profiles_valid_and_distinct():
+    assert set(PROFILES) == set(ALL_APPS)
+    signatures = set()
+    for code in ALL_APPS:
+        p = profile_for(code)
+        signatures.add(
+            (p.instructions_per_byte, p.llc_mpki0, p.io_overlap, p.shuffle_factor)
+        )
+    assert len(signatures) == len(ALL_APPS)  # no two apps identical
+
+
+def test_profile_lookup_errors():
+    with pytest.raises(KeyError):
+        profile_for("nope")
+    with pytest.raises(KeyError):
+        class_for("nope")
+
+
+def test_instance_label_and_props():
+    inst = AppInstance(get_app("st"), 5 * GB)
+    assert inst.label == "st@5GB"
+    assert inst.app_class is AppClass.IO
+    assert inst.profile is get_app("st").profile
+
+
+def test_memory_class_has_big_footprints():
+    for code in ALL_APPS:
+        app = get_app(code)
+        if app.app_class is AppClass.MEMORY:
+            assert app.profile.footprint_per_task >= 800 * 2**20
+            assert app.profile.llc_mpki0 >= 4.0
+
+
+def test_io_class_has_low_overlap_and_heavy_io():
+    for code in ALL_APPS:
+        app = get_app(code)
+        if app.app_class is AppClass.IO:
+            assert app.profile.io_overlap <= 0.3
+            assert app.profile.disk_bytes_per_input_byte >= 2.0

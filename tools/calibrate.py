@@ -1,0 +1,80 @@
+"""Calibration harness: prints the shape targets the profiles must hit.
+
+Run after changing hardware constants or application profiles:
+
+    python tools/calibrate.py
+
+Targets (qualitative, from the paper):
+  T1  class signatures: C high u_cpu, I high u_disk / low u_cpu,
+      M long runtime + high u_mem, H mixed
+  T2  COLAO/ILAO ratio: >= ~0.9 everywhere, maximum for I-I, minimum
+      for M-involved pairs
+  T3  min-EDP ranking over class pairs: I-I best, M-X worst
+  T4  tuning sensitivity decreasing with mapper count
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.costmodel import standalone_metrics
+from repro.model.sweep import sweep_pair, sweep_solo
+from repro.utils.units import GB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import ALL_APPS, get_app
+
+
+def main() -> None:
+    insts = {c: AppInstance(get_app(c), 10 * GB) for c in ALL_APPS}
+
+    print("== T1: solo signatures (10GB, oracle-tuned) ==")
+    print(f"{'app':5} {'cls':4} {'bestcfg':>20} {'T(s)':>7} {'P(W)':>6} "
+          f"{'EDP':>10} {'u_cpu':>6} {'u_dsk':>6} {'u_net':>6} {'u_mem':>6}")
+    solos = {}
+    for c, inst in insts.items():
+        r = sweep_solo(inst)
+        solos[c] = r
+        i = r.best_index
+        m = r.metrics
+        umem = m.mem_demand[i] / 10 / 2**30
+        print(f"{c:5} {str(inst.app_class):4} {r.best_config.label:>20} "
+              f"{m.duration[i]:7.0f} {m.power[i]:6.1f} {m.edp[i]:10.3e} "
+              f"{m.u_cpu[i]:6.2f} {m.u_disk[i]:6.2f} {m.u_net[i]:6.2f} {umem:6.2f}")
+
+    print("\n== T2/T3: pair table (10GB x 10GB) ==")
+    reps = {"C": "wc", "H": "gp", "I": "st", "M": "fp"}
+    rows = []
+    for i, (ka, a) in enumerate(reps.items()):
+        for kb, b in list(reps.items())[i:]:
+            ps = sweep_pair(insts[a], insts[b])
+            sa, sb = solos[a], solos[b]
+            ilao = float(
+                (sa.metrics.energy[sa.best_index] + sb.metrics.energy[sb.best_index])
+                * (sa.metrics.duration[sa.best_index] + sb.metrics.duration[sb.best_index])
+            )
+            ca, cb = ps.best_configs
+            rows.append((f"{ka}-{kb}", ilao / ps.best_edp, ps.best_edp,
+                         float(ps.metrics.stretch[ps.best_index]),
+                         f"{ca.label}|{cb.label}"))
+    rows.sort(key=lambda r: r[2])
+    print(f"{'pair':6} {'CO/IL':>6} {'colaoEDP':>11} {'stretch':>7}  configs")
+    for name, ratio, edp, st, cfgs in rows:
+        print(f"{name:6} {ratio:6.2f} {edp:11.3e} {st:7.2f}  {cfgs}")
+
+    print("\n== T4: tuning sensitivity vs mappers (wc & st, 10GB) ==")
+    for code in ("wc", "st"):
+        inst = insts[code]
+        line = []
+        for m in (1, 2, 4, 8):
+            base = standalone_metrics(inst.profile, inst.data_bytes, 1.2e9, 64 * 2**20, m)
+            fgrid = np.array([1.2e9, 1.6e9, 2.0e9, 2.4e9])
+            bgrid = np.array([64, 128, 256, 512, 1024]) * 2**20
+            ff, bb = np.meshgrid(fgrid, bgrid, indexing="ij")
+            best = standalone_metrics(inst.profile, inst.data_bytes, ff.ravel(), bb.ravel(), m)
+            line.append(float(np.asarray(base.edp)) / float(best.edp.min()))
+        print(f"{code}: improvement(base/best) at m=1,2,4,8: "
+              + ", ".join(f"{v:.2f}x" for v in line))
+
+
+if __name__ == "__main__":
+    main()
