@@ -20,7 +20,7 @@ from repro.hardware.node import ATOM_C2758, NodeSpec
 from repro.ml.lookup import LookupTable
 from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
 from repro.model.config import JobConfig
-from repro.model.sweep import PairSweepResult, sweep_pair
+from repro.model.sweep import PairSweepResult
 from repro.utils.units import GB
 from repro.workloads.base import AppClass, AppInstance
 
@@ -137,18 +137,40 @@ def build_database(
     constants: SimConstants = DEFAULT_CONSTANTS,
     include_self: bool = True,
     keep_sweeps: bool = False,
+    executor: "SweepExecutor | None" = None,
 ) -> tuple[ConfigDatabase, dict[tuple[str, str], PairSweepResult]]:
     """Sweep every training pair and collect the best configurations.
 
     Returns the database plus (optionally) the raw sweeps, which the
     MLM-STP training-set builder reuses so the expensive grid is
     evaluated once.
+
+    Sweeps are fanned out through ``executor`` (a fresh
+    :class:`repro.parallel.SweepExecutor` honouring ``REPRO_WORKERS``
+    when omitted).  Without ``keep_sweeps`` only each pair's optimum
+    crosses process boundaries — the cheap path; with it the full
+    metric arrays are shipped back for training-set reuse.  Either
+    way the result is identical to a serial build.
     """
+    from repro.parallel import SweepExecutor
+
+    exec_ = executor if executor is not None else SweepExecutor()
+    pairs = training_pairs(instances, include_self=include_self)
     entries = []
     sweeps: dict[tuple[str, str], PairSweepResult] = {}
-    for a, b in training_pairs(instances, include_self=include_self):
-        sweep = sweep_pair(a, b, node=node, constants=constants)
-        cfg_a, cfg_b = sweep.best_configs
+    if keep_sweeps:
+        results = exec_.sweep_pairs(pairs, node=node, constants=constants)
+        bests = [
+            (s.best_configs, s.best_edp) for s in results
+        ]
+        for (a, b), sweep in zip(pairs, results):
+            sweeps[(a.label, b.label)] = sweep
+    else:
+        bests = [
+            (s.best_configs, s.best_edp)
+            for s in exec_.sweep_pairs_best(pairs, node=node, constants=constants)
+        ]
+    for (a, b), ((cfg_a, cfg_b), best_edp) in zip(pairs, bests):
         entries.append(
             DatabaseEntry(
                 class_a=a.app_class,
@@ -157,11 +179,9 @@ def build_database(
                 size_b=b.data_bytes,
                 config_a=cfg_a,
                 config_b=cfg_b,
-                best_edp=sweep.best_edp,
+                best_edp=best_edp,
                 label_a=a.label,
                 label_b=b.label,
             )
         )
-        if keep_sweeps:
-            sweeps[(a.label, b.label)] = sweep
     return ConfigDatabase(entries), sweeps

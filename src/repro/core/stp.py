@@ -32,7 +32,7 @@ from repro.ml.mlp import MLPRegressor
 from repro.ml.reptree import REPTree
 from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
 from repro.model.config import JobConfig, pair_config_grid
-from repro.model.sweep import PairSweepResult, sweep_pair
+from repro.model.sweep import PairSweepResult
 from repro.telemetry.profiling import REDUCED_FEATURE_NAMES, profile_features, reduced_vector
 from repro.analysis.features import PROFILING_CONFIG
 from repro.utils.rng import SeedLike, rng_from
@@ -230,24 +230,40 @@ def build_training_dataset(
     rows_per_pair: int = 400,
     include_self: bool = True,
     seed: SeedLike = 0,
+    executor: "SweepExecutor | None" = None,
 ) -> TrainingDataset:
     """Sweep (or reuse sweeps of) training pairs and emit model rows.
 
     Each pair contributes ``rows_per_pair`` grid points sampled without
     replacement — always including the optimum, so models can learn
-    where the minimum lives.
+    where the minimum lives.  Pairs not covered by ``sweeps`` are swept
+    through ``executor`` (default: a fresh ``SweepExecutor`` honouring
+    ``REPRO_WORKERS``) in one fan-out batch.
     """
+    from repro.parallel import SweepExecutor
+
     rng = rng_from(seed)
     descriptors = {
         inst.label: describe_instance(inst, node=node, constants=constants, seed=seed)
         for inst in instances
     }
+    pairs = training_pairs(instances, include_self=include_self)
+    missing = [
+        (a, b) for a, b in pairs if (sweeps or {}).get((a.label, b.label)) is None
+    ]
+    computed: dict[tuple[str, str], PairSweepResult] = {}
+    if missing:
+        exec_ = executor if executor is not None else SweepExecutor()
+        for (a, b), sweep in zip(
+            missing, exec_.sweep_pairs(missing, node=node, constants=constants)
+        ):
+            computed[(a.label, b.label)] = sweep
     X_rows, y_rows, codes = [], [], []
-    for a, b in training_pairs(instances, include_self=include_self):
+    for a, b in pairs:
         key = (a.label, b.label)
         sweep = (sweeps or {}).get(key)
         if sweep is None:
-            sweep = sweep_pair(a, b, node=node, constants=constants)
+            sweep = computed[key]
         n = len(sweep.edp)
         take = min(rows_per_pair, n)
         idx = rng.choice(n, size=take, replace=False)
@@ -488,13 +504,26 @@ class SoloSTP:
             ]
         )
 
-    def fit(self, instances: Sequence[AppInstance], *, seed: SeedLike = 0) -> "SoloSTP":
-        """Train on log-EDP of the full 160-point solo sweeps."""
-        from repro.model.sweep import sweep_solo
+    def fit(
+        self,
+        instances: Sequence[AppInstance],
+        *,
+        seed: SeedLike = 0,
+        executor: "SweepExecutor | None" = None,
+    ) -> "SoloSTP":
+        """Train on log-EDP of the full 160-point solo sweeps.
 
+        The per-instance sweeps fan out through ``executor`` (default:
+        a fresh ``SweepExecutor`` honouring ``REPRO_WORKERS``).
+        """
+        from repro.parallel import SweepExecutor
+
+        exec_ = executor if executor is not None else SweepExecutor()
+        solo_sweeps = exec_.sweep_solos(
+            instances, node=self.node, constants=self.constants
+        )
         X_rows, y_rows, feats, sizes = [], [], [], []
-        for inst in instances:
-            sweep = sweep_solo(inst, node=self.node, constants=self.constants)
+        for inst, sweep in zip(instances, solo_sweeps):
             desc = describe_instance(
                 inst, node=self.node, constants=self.constants, seed=seed
             )

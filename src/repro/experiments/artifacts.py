@@ -3,15 +3,44 @@
 Building the configuration database, training dataset, and fitted STP
 models takes tens of seconds to minutes; every experiment and
 benchmark that needs them goes through these accessors so the work
-happens once per calibration version.  Caches are pickles under
-``.repro_cache/`` keyed by artifact name and :data:`CACHE_VERSION` —
-bump the version whenever profiles or hardware constants change.
+happens once per calibration version.
+
+Cache design
+------------
+* **Content-keyed paths.**  Files live under ``.repro_cache/`` (or
+  ``REPRO_CACHE_DIR``) as ``<name>-<CACHE_VERSION>-<fingerprint>.pkl``
+  where the fingerprint is a SHA-256 digest of everything the cached
+  artifacts are a function of: the training workload profiles, the
+  hardware node spec, the simulation constants, and the cache version
+  itself.  Changing any calibration input silently invalidates every
+  stale entry — no manual version bump required (though bumping
+  :data:`CACHE_VERSION` still works and is the right move for pipeline
+  changes that don't show up in those inputs).
+* **Self-describing payloads.**  Each pickle wraps its value in an
+  envelope recording the version and fingerprint it was built under;
+  a file whose envelope disagrees with the current scheme (e.g. one
+  copied between machines) is treated as stale and rebuilt.
+* **Corruption tolerance.**  A truncated, garbled, or unreadable
+  pickle — or one referencing classes that no longer exist — is
+  logged, quarantined to ``<file>.corrupt``, and rebuilt instead of
+  crashing the caller.
+* **Atomic, race-safe writes.**  Values are written to a uniquely
+  named temp file and ``os.replace``-d into place, so two processes
+  racing on the same key both succeed and readers never observe a
+  partial file.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import logging
 import os
 import pickle
+import re
+import uuid
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
@@ -25,10 +54,55 @@ from repro.core.stp import (
     TrainingDataset,
     build_training_dataset,
 )
-from repro.workloads.registry import TRAINING_APPS, instances_for
+from repro.workloads.registry import TRAINING_APPS, get_app, instances_for
 
-#: Bump when profiles / hardware constants / STP pipeline change.
-CACHE_VERSION = "v1"
+log = logging.getLogger("repro.cache")
+
+#: Bump when the STP pipeline changes in ways the content fingerprint
+#: cannot see (profiles and hardware constants are fingerprinted).
+CACHE_VERSION = "v2"
+
+#: Errors that mean "this pickle cannot be trusted": garbage bytes,
+#: truncation, classes that moved/vanished since it was written, or an
+#: unreadable file.
+CORRUPTION_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    OSError,
+)
+
+
+@dataclass
+class CacheStats:
+    """Counters for cache behaviour (observable by telemetry/tests)."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0  # quarantined after a failed load
+    stale: int = 0  # envelope version/fingerprint mismatch
+
+    @property
+    def hit_rate(self) -> float | None:
+        total = self.hits + self.misses
+        return None if total == 0 else self.hits / total
+
+
+_STATS = CacheStats()
+
+
+def cache_stats() -> CacheStats:
+    """A snapshot of the process-wide cache counters."""
+    return dataclasses.replace(_STATS)
+
+
+def reset_cache_stats() -> None:
+    """Zero the counters (test isolation)."""
+    global _STATS
+    _STATS = CacheStats()
 
 
 def cache_dir() -> Path:
@@ -42,26 +116,151 @@ def cache_dir() -> Path:
     return path
 
 
-def cached(name: str, build: Callable[[], Any]) -> Any:
-    """Load ``name`` from the cache or build and store it."""
-    path = cache_dir() / f"{name}-{CACHE_VERSION}.pkl"
-    if path.exists():
+_ADDR_RE = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
+def _jsonable(obj: Any) -> Any:
+    """Last-resort canonicaliser for fingerprint serialisation.
+
+    Must never emit process-dependent text: a memory address leaking
+    into the digest (e.g. via a default ``repr``) would give every
+    process its own fingerprint and silently disable the cache.
+    """
+    if hasattr(obj, "tolist"):  # numpy arrays / scalars
+        return obj.tolist()
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    state = getattr(obj, "__dict__", None)
+    if state:  # plain objects (e.g. DvfsTable): type name + attributes
+        return {"__class__": type(obj).__qualname__, "state": state}
+    return _ADDR_RE.sub("", repr(obj))
+
+
+_FINGERPRINTS: dict[str, str] = {}
+
+
+def content_fingerprint() -> str:
+    """Digest of every input the cached artifacts are a function of.
+
+    Covers the training applications' calibrated profiles, the node
+    hardware spec, the simulation constants, and the cache version.
+    Deterministic across processes and runs (pure values, sorted keys).
+    """
+    cached_fp = _FINGERPRINTS.get(CACHE_VERSION)
+    if cached_fp is not None:
+        return cached_fp
+    from repro.hardware.node import ATOM_C2758
+    from repro.model.calibration import DEFAULT_CONSTANTS
+
+    payload = {
+        "version": CACHE_VERSION,
+        "node": dataclasses.asdict(ATOM_C2758),
+        "constants": dataclasses.asdict(DEFAULT_CONSTANTS),
+        "profiles": {
+            code: dataclasses.asdict(get_app(code).profile)
+            for code in TRAINING_APPS
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, default=_jsonable)
+    fp = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+    _FINGERPRINTS[CACHE_VERSION] = fp
+    return fp
+
+
+def cache_path(name: str) -> Path:
+    """Content-keyed path for one named artifact."""
+    return cache_dir() / f"{name}-{CACHE_VERSION}-{content_fingerprint()}.pkl"
+
+
+def _quarantine(path: Path, reason: str) -> None:
+    """Move a bad cache file aside (or drop it) so rebuilds are clean."""
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+        log.warning("quarantined %s cache file %s -> %s", reason, path, target.name)
+    except OSError:
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - unwritable cache dir
+            pass
+        log.warning("removed %s cache file %s", reason, path)
+
+
+def _load_envelope(path: Path) -> tuple[Any, bool]:
+    """(payload, ok) for one cache file; never raises on bad content."""
+    try:
         with path.open("rb") as fh:
-            return pickle.load(fh)
+            envelope = pickle.load(fh)
+    except CORRUPTION_ERRORS as exc:
+        _STATS.corrupt += 1
+        log.warning("unreadable cache file %s (%s: %s)", path, type(exc).__name__, exc)
+        _quarantine(path, "corrupt")
+        return None, False
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("version") != CACHE_VERSION
+        or envelope.get("fingerprint") != content_fingerprint()
+        or "payload" not in envelope
+    ):
+        _STATS.stale += 1
+        _quarantine(path, "stale")
+        return None, False
+    return envelope["payload"], True
+
+
+def _atomic_write(path: Path, value: Any) -> None:
+    """Write-and-rename with a per-writer unique temp name.
+
+    ``os.replace`` is atomic on POSIX for same-filesystem paths, so
+    concurrent writers on the same key simply last-write-win and no
+    reader ever sees a partial pickle.
+    """
+    envelope = {
+        "version": CACHE_VERSION,
+        "fingerprint": content_fingerprint(),
+        "payload": value,
+    }
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+    try:
+        with tmp.open("wb") as fh:
+            pickle.dump(envelope, fh)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def cached(name: str, build: Callable[[], Any]) -> Any:
+    """Load ``name`` from the cache or build and store it.
+
+    Never trusts the disk: corrupt or stale files are quarantined and
+    the artifact is rebuilt, so a bad cache can slow a run down but
+    can't fail it.
+    """
+    path = cache_path(name)
+    if path.exists():
+        value, ok = _load_envelope(path)
+        if ok:
+            _STATS.hits += 1
+            return value
+    _STATS.misses += 1
     value = build()
-    tmp = path.with_suffix(".tmp")
-    with tmp.open("wb") as fh:
-        pickle.dump(value, fh)
-    tmp.replace(path)
+    _atomic_write(path, value)
     return value
 
 
 def clear_cache() -> int:
-    """Delete all cached artifacts; returns the number removed."""
+    """Delete all cached artifacts (including quarantined and temp
+    files); returns the number removed."""
     n = 0
-    for p in cache_dir().glob("*.pkl"):
-        p.unlink()
-        n += 1
+    for pattern in ("*.pkl", "*.pkl.corrupt", ".*.tmp"):
+        for p in cache_dir().glob(pattern):
+            try:
+                p.unlink()
+                n += 1
+            except OSError:  # pragma: no cover - raced with another cleaner
+                pass
     return n
 
 

@@ -67,45 +67,64 @@ class Fig2Report:
         )
 
 
+def _mapper_point(task) -> tuple[float, float, float]:
+    """(block-only, freq-only, concurrent) improvements at one mapper
+    count — module-level so the sweep executor can fan it out."""
+    profile, data_bytes, m, node, constants = task
+    freqs = np.asarray(node.frequencies)
+    blocks = np.asarray(HDFS_BLOCK_SIZES, dtype=float)
+
+    base = standalone_metrics(
+        profile, data_bytes, BASELINE_FREQ, BASELINE_BLOCK, m,
+        node=node, constants=constants,
+    )
+    base_edp = float(np.asarray(base.edp))
+
+    blk = standalone_metrics(
+        profile, data_bytes, BASELINE_FREQ, blocks, m,
+        node=node, constants=constants,
+    )
+    frq = standalone_metrics(
+        profile, data_bytes, freqs, BASELINE_BLOCK, m,
+        node=node, constants=constants,
+    )
+    ff, bb = np.meshgrid(freqs, blocks, indexing="ij")
+    both = standalone_metrics(
+        profile, data_bytes, ff.ravel(), bb.ravel(), m,
+        node=node, constants=constants,
+    )
+    return (
+        base_edp / float(blk.edp.min()),
+        base_edp / float(frq.edp.min()),
+        base_edp / float(both.edp.min()),
+    )
+
+
 def run_fig2(
     app_code: str = "wc",
     *,
     data_bytes: int = 10 * GB,
     node: NodeSpec = ATOM_C2758,
     constants: SimConstants = DEFAULT_CONSTANTS,
+    executor: "SweepExecutor | None" = None,
 ) -> Fig2Report:
-    """Sweep the knobs at every mapper count for one application."""
+    """Sweep the knobs at every mapper count for one application.
+
+    The per-mapper-count grid evaluations are independent and fan out
+    through ``executor`` (honouring ``REPRO_WORKERS`` when omitted).
+    """
+    from repro.parallel import SweepExecutor
+
     profile = get_app(app_code).profile
-    freqs = np.asarray(node.frequencies)
-    blocks = np.asarray(HDFS_BLOCK_SIZES, dtype=float)
-
     mappers = tuple(range(1, node.n_cores + 1))
-    block_only, freq_only, concurrent = [], [], []
-    for m in mappers:
-        base = standalone_metrics(
-            profile, data_bytes, BASELINE_FREQ, BASELINE_BLOCK, m,
-            node=node, constants=constants,
-        )
-        base_edp = float(np.asarray(base.edp))
-
-        blk = standalone_metrics(
-            profile, data_bytes, BASELINE_FREQ, blocks, m,
-            node=node, constants=constants,
-        )
-        block_only.append(base_edp / float(blk.edp.min()))
-
-        frq = standalone_metrics(
-            profile, data_bytes, freqs, BASELINE_BLOCK, m,
-            node=node, constants=constants,
-        )
-        freq_only.append(base_edp / float(frq.edp.min()))
-
-        ff, bb = np.meshgrid(freqs, blocks, indexing="ij")
-        both = standalone_metrics(
-            profile, data_bytes, ff.ravel(), bb.ravel(), m,
-            node=node, constants=constants,
-        )
-        concurrent.append(base_edp / float(both.edp.min()))
+    exec_ = executor if executor is not None else SweepExecutor()
+    points = exec_.map(
+        _mapper_point,
+        [(profile, data_bytes, m, node, constants) for m in mappers],
+    )
+    block_only = [p[0] for p in points]
+    freq_only = [p[1] for p in points]
+    concurrent = [p[2] for p in points]
 
     return Fig2Report(
         app_code=app_code,

@@ -1,0 +1,24 @@
+"""Parallel sweep execution (process-pool fan-out with serial fallback).
+
+Public surface:
+
+* :class:`SweepExecutor` — ordered, deterministic fan-out of solo and
+  pair sweeps (and arbitrary picklable functions) over a process pool;
+  serial inline execution when ``REPRO_WORKERS=1`` (the default).
+* :func:`worker_count` — ``REPRO_WORKERS`` resolution.
+* :class:`PairSweepBest` — the lightweight per-pair optimum payload.
+"""
+
+from repro.parallel.executor import (
+    WORKERS_ENV,
+    PairSweepBest,
+    SweepExecutor,
+    worker_count,
+)
+
+__all__ = [
+    "WORKERS_ENV",
+    "PairSweepBest",
+    "SweepExecutor",
+    "worker_count",
+]

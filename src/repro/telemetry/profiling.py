@@ -109,3 +109,98 @@ def reduced_vector(features: dict[str, float]) -> np.ndarray:
     if missing:
         raise KeyError(f"missing features: {missing}")
     return np.array([features[n] for n in REDUCED_FEATURE_NAMES], dtype=float)
+
+
+# ------------------------------------------------------ sweep telemetry
+class SweepTelemetry:
+    """Wall-time and cache accounting for fanned-out sweeps.
+
+    The parallel sweep executor records one sample per task — which
+    worker ran it and how long it took — plus the artifact-cache
+    hit/miss delta observed around each batch, so a sweep can report
+    per-worker wall time and its cache hit rate without any global
+    state of its own.
+    """
+
+    def __init__(self) -> None:
+        self.worker_wall_s: dict[str, float] = {}
+        self.worker_tasks: dict[str, int] = {}
+        self.n_batches = 0
+        self.batch_wall_s = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- recording -----------------------------------------------------
+    def record_task(self, worker: str, wall_s: float) -> None:
+        """One executed task: ``worker`` id (pid) and its wall time."""
+        self.worker_wall_s[worker] = self.worker_wall_s.get(worker, 0.0) + wall_s
+        self.worker_tasks[worker] = self.worker_tasks.get(worker, 0) + 1
+
+    def record_batch(self, wall_s: float) -> None:
+        """End-to-end wall time of one fan-out batch."""
+        self.n_batches += 1
+        self.batch_wall_s += wall_s
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        """Artifact-cache activity observed while a batch ran."""
+        self.cache_hits += hits
+        self.cache_misses += misses
+
+    # -- derived -------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return sum(self.worker_tasks.values())
+
+    @property
+    def task_wall_s(self) -> float:
+        """Total task compute time across all workers."""
+        return sum(self.worker_wall_s.values())
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        """Hits / (hits + misses), or ``None`` with no cache activity."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return None
+        return self.cache_hits / total
+
+    @property
+    def parallel_speedup(self) -> float | None:
+        """Aggregate task time over batch wall time (≈ effective workers)."""
+        if self.batch_wall_s <= 0.0:
+            return None
+        return self.task_wall_s / self.batch_wall_s
+
+    def merge(self, other: "SweepTelemetry") -> "SweepTelemetry":
+        """Fold another telemetry object into this one (returns self)."""
+        for w, s in other.worker_wall_s.items():
+            self.worker_wall_s[w] = self.worker_wall_s.get(w, 0.0) + s
+        for w, n in other.worker_tasks.items():
+            self.worker_tasks[w] = self.worker_tasks.get(w, 0) + n
+        self.n_batches += other.n_batches
+        self.batch_wall_s += other.batch_wall_s
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        return self
+
+    def render(self) -> str:
+        """Human-readable per-worker summary."""
+        lines = [
+            f"sweep telemetry: {self.n_tasks} task(s) in {self.n_batches} "
+            f"batch(es), {self.batch_wall_s:.3f}s wall"
+        ]
+        for worker in sorted(self.worker_wall_s):
+            lines.append(
+                f"  worker {worker}: {self.worker_tasks[worker]} task(s), "
+                f"{self.worker_wall_s[worker]:.3f}s"
+            )
+        rate = self.cache_hit_rate
+        if rate is not None:
+            lines.append(
+                f"  cache: {self.cache_hits} hit(s) / "
+                f"{self.cache_misses} miss(es) ({rate:.0%} hit rate)"
+            )
+        speedup = self.parallel_speedup
+        if speedup is not None:
+            lines.append(f"  effective parallelism: {speedup:.2f}x")
+        return "\n".join(lines)

@@ -8,6 +8,9 @@ benchmarks.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.core.database import build_database
@@ -16,6 +19,26 @@ from repro.hardware.node import ATOM_C2758
 from repro.utils.units import GB
 from repro.workloads.base import AppInstance
 from repro.workloads.registry import get_app
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_cache_dir(tmp_path_factory):
+    """Point the artifact cache at a throwaway directory for the whole
+    suite, so tests never read or write the repo-level ``.repro_cache``
+    (a stale or corrupt file there must not be able to flake a test).
+
+    An explicitly pre-set ``REPRO_CACHE_DIR`` is honoured — CI's
+    cache-reuse job uses that to run the suite twice against one
+    persistent directory.
+    """
+    preset = os.environ.get("REPRO_CACHE_DIR")
+    if preset:
+        yield Path(preset)
+        return
+    path = tmp_path_factory.mktemp("repro-cache")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    yield path
+    os.environ.pop("REPRO_CACHE_DIR", None)
 
 
 @pytest.fixture(scope="session")

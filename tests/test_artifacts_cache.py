@@ -1,0 +1,213 @@
+"""Hardened artifact-cache tests: corruption, staleness, races.
+
+The cache must never fail a caller because of what's on disk: corrupt
+or stale files are quarantined and rebuilt, writes are atomic, and
+concurrent writers on the same key both succeed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import artifacts
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    artifacts.reset_cache_stats()
+    return tmp_path
+
+
+class TestContentKeys:
+    def test_cache_dir_override(self, cache_dir):
+        assert artifacts.cache_dir() == cache_dir
+        artifacts.cached("where", lambda: 1)
+        assert list(cache_dir.glob("where-*.pkl"))
+
+    def test_path_embeds_version_and_fingerprint(self, cache_dir):
+        path = artifacts.cache_path("item")
+        fp = artifacts.content_fingerprint()
+        assert path.name == f"item-{artifacts.CACHE_VERSION}-{fp}.pkl"
+        assert len(fp) == 12
+
+    def test_fingerprint_is_stable(self):
+        assert artifacts.content_fingerprint() == artifacts.content_fingerprint()
+
+    def test_fingerprint_stable_across_processes(self):
+        """The digest must be identical in fresh interpreters, or the
+        content-keyed cache never hits across runs (regression: a
+        default ``repr`` leaked a memory address into the payload)."""
+        src = str(Path(artifacts.__file__).parents[2])
+        code = (
+            "from repro.experiments.artifacts import content_fingerprint;"
+            "print(content_fingerprint())"
+        )
+        seen = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                env={**os.environ, "PYTHONPATH": src},
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            for _ in range(2)
+        }
+        assert seen == {artifacts.content_fingerprint()}
+
+    def test_version_bump_invalidates(self, cache_dir, monkeypatch):
+        calls = []
+        build = lambda: calls.append(1) or "value"
+        artifacts.cached("versioned", build)
+        artifacts.cached("versioned", build)
+        assert len(calls) == 1
+        monkeypatch.setattr(artifacts, "CACHE_VERSION", "v999-test")
+        artifacts.cached("versioned", build)
+        assert len(calls) == 2  # new version => rebuilt under a new key
+        # both versions now coexist on disk
+        assert len(list(cache_dir.glob("versioned-*.pkl"))) == 2
+
+
+class TestCorruptionTolerance:
+    def test_garbage_file_is_quarantined_and_rebuilt(self, cache_dir):
+        path = artifacts.cache_path("item")
+        path.write_bytes(b"\x04not a pickle at all")
+        value = artifacts.cached("item", lambda: {"ok": True})
+        assert value == {"ok": True}
+        # the bad file moved aside; the rebuilt one loads cleanly
+        assert (cache_dir / (path.name + ".corrupt")).exists()
+        assert artifacts.cached("item", lambda: {"ok": False}) == {"ok": True}
+        stats = artifacts.cache_stats()
+        assert stats.corrupt == 1 and stats.misses == 1 and stats.hits == 1
+
+    def test_truncated_pickle_recovers(self, cache_dir):
+        path = artifacts.cache_path("trunc")
+        blob = pickle.dumps({"version": artifacts.CACHE_VERSION, "payload": 1})
+        path.write_bytes(blob[: len(blob) // 2])
+        assert artifacts.cached("trunc", lambda: 42) == 42
+
+    def test_unpicklable_class_reference_recovers(self, cache_dir):
+        path = artifacts.cache_path("ghost")
+        # references a class that does not exist => AttributeError on load
+        blob = (
+            b"\x80\x04\x95%\x00\x00\x00\x00\x00\x00\x00\x8c\x08builtins\x94"
+            b"\x8c\x10NoSuchClassEver42\x94\x93\x94."
+        )
+        path.write_bytes(blob)
+        assert artifacts.cached("ghost", lambda: "rebuilt") == "rebuilt"
+        assert artifacts.cache_stats().corrupt == 1
+
+    def test_legacy_raw_payload_treated_as_stale(self, cache_dir):
+        path = artifacts.cache_path("legacy")
+        with path.open("wb") as fh:
+            pickle.dump({"not": "an envelope"}, fh)
+        assert artifacts.cached("legacy", lambda: "fresh") == "fresh"
+        assert artifacts.cache_stats().stale == 1
+
+    def test_foreign_fingerprint_envelope_is_stale(self, cache_dir):
+        path = artifacts.cache_path("moved")
+        with path.open("wb") as fh:
+            pickle.dump(
+                {
+                    "version": artifacts.CACHE_VERSION,
+                    "fingerprint": "deadbeefdead",
+                    "payload": "from another calibration",
+                },
+                fh,
+            )
+        assert artifacts.cached("moved", lambda: "rebuilt") == "rebuilt"
+        assert artifacts.cache_stats().stale == 1
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, cache_dir):
+        for i in range(5):
+            artifacts.cached(f"tmpcheck-{i}", lambda: list(range(100)))
+        assert list(cache_dir.glob(".*.tmp")) == []
+
+    def test_failed_build_writes_nothing(self, cache_dir):
+        with pytest.raises(RuntimeError):
+            artifacts.cached("boom", _raise_build)
+        assert list(cache_dir.glob("boom-*")) == []
+        assert list(cache_dir.glob(".*.tmp")) == []
+
+
+def _raise_build():
+    raise RuntimeError("build failed")
+
+
+def _race_one(args: tuple[str, str]) -> dict:
+    """Child-process body for the concurrent-writer race."""
+    cache_root, key = args
+    os.environ["REPRO_CACHE_DIR"] = cache_root
+    from repro.experiments import artifacts as child_artifacts
+
+    return child_artifacts.cached(key, lambda: {"winner": True, "n": 123})
+
+
+class TestConcurrentWriters:
+    def test_two_processes_racing_same_key(self, cache_dir):
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        with ctx.Pool(2) as pool:
+            results = pool.map(
+                _race_one, [(str(cache_dir), "raced")] * 2
+            )
+        assert results == [{"winner": True, "n": 123}] * 2
+        # whoever lost the race, the surviving file is a valid envelope
+        assert artifacts.cached("raced", lambda: {"winner": False}) == {
+            "winner": True,
+            "n": 123,
+        }
+
+
+class TestClearCache:
+    def test_counts_everything_it_removes(self, cache_dir):
+        artifacts.cached("one", lambda: 1)
+        artifacts.cached("two", lambda: 2)
+        bad = artifacts.cache_path("bad")
+        bad.write_bytes(b"junk")
+        artifacts.cached("bad", lambda: 3)  # quarantines junk, writes fresh
+        n = artifacts.clear_cache()
+        assert n == 4  # three .pkl + one .pkl.corrupt
+        assert list(cache_dir.glob("*.pkl")) == []
+        assert list(cache_dir.glob("*.corrupt")) == []
+        assert artifacts.clear_cache() == 0
+
+
+class TestStats:
+    def test_hits_misses_and_rate(self, cache_dir):
+        artifacts.reset_cache_stats()
+        artifacts.cached("s", lambda: 1)
+        artifacts.cached("s", lambda: 1)
+        artifacts.cached("s", lambda: 1)
+        stats = artifacts.cache_stats()
+        assert (stats.hits, stats.misses) == (2, 1)
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_rate_none_when_untouched(self):
+        artifacts.reset_cache_stats()
+        assert artifacts.cache_stats().hit_rate is None
+
+
+class TestCliWithPoisonedCache:
+    def test_classify_command_survives_garbage_pickle(
+        self, cache_dir, capsys
+    ):
+        """The seed failure: a garbage ``.pkl`` pre-seeded exactly where
+        the classifier cache lives must not crash the CLI."""
+        artifacts.cache_path("classifier").write_bytes(b"\x04garbage bytes")
+        from repro.__main__ import main
+
+        assert main(["classify", "st", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "classified as" in out
+        assert artifacts.cache_stats().corrupt >= 1
