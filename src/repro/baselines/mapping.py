@@ -28,7 +28,6 @@ construction (they share the cost kernel).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Callable, Sequence
 
 import numpy as np
@@ -186,7 +185,9 @@ def _engine_policy(
         workload: Sequence[AppInstance], n_nodes: int,
         node: NodeSpec, constants: SimConstants, _c: TunedComponents | None,
     ) -> PolicyOutcome:
-        cluster = ClusterEngine(n_nodes, node, constants=constants)
+        # Only makespan/total-horizon energy are reported — skip the
+        # per-segment interval records entirely.
+        cluster = ClusterEngine(n_nodes, node, constants=constants, recorder="off")
         for inst in workload:
             cluster.submit(JobSpec(instance=inst, config=config_for(inst)))
         cluster.run()
@@ -224,7 +225,7 @@ def _ptm(workload, n_nodes, node, constants, components):
 def _ecost(workload, n_nodes, node, constants, components):
     if components is None:
         raise ValueError("ECoST requires trained components")
-    cluster = ClusterEngine(n_nodes, node, constants=constants)
+    cluster = ClusterEngine(n_nodes, node, constants=constants, recorder="off")
     controller = ECoSTController(
         cluster, components.pair_stp, components.classifier,
         node=node, constants=constants,

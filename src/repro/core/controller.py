@@ -68,6 +68,7 @@ class ECoSTController:
         self.profiling_seed = profiling_seed
         self.queue = WaitQueue()
         self._arrivals: list[_Arrival] = []
+        self._features_memo: dict[AppInstance, dict[str, float]] = {}
         self.decisions: list[str] = []  # human-readable scheduling log
         cluster.scheduler = self._schedule
 
@@ -79,12 +80,28 @@ class ECoSTController:
         self._arrivals.append(_Arrival(time=arrival_time, instance=instance))
         self.cluster.notify_at(arrival_time)
 
+    def _features(self, instance: AppInstance) -> dict[str, float]:
+        """Learning-period features, profiled once per application.
+
+        ``profile_features`` is deterministic for a given
+        ``(instance, config, seed)``, and the scheduler re-derives a
+        running job's descriptor on every partner-fill round — without
+        memoization a steady-state stream re-profiles the same
+        application hundreds of times.
+        """
+        feats = self._features_memo.get(instance)
+        if feats is None:
+            feats = profile_features(
+                instance, PROFILING_CONFIG,
+                node=self.node, constants=self.constants,
+                seed=self.profiling_seed,
+            )
+            self._features_memo[instance] = feats
+        return feats
+
     def _classify(self, instance: AppInstance) -> QueuedApp:
         """Step 1: learning-period profiling + classification."""
-        feats = profile_features(
-            instance, PROFILING_CONFIG,
-            node=self.node, constants=self.constants, seed=self.profiling_seed,
-        )
+        feats = self._features(instance)
         cls = self.classifier.classify(feats)
         return QueuedApp(
             instance=instance,
@@ -102,10 +119,7 @@ class ECoSTController:
 
     def _running_descriptor(self, engine: NodeEngine) -> AppDescriptor:
         running = engine.running[0]
-        feats = profile_features(
-            running.spec.instance, PROFILING_CONFIG,
-            node=self.node, constants=self.constants, seed=self.profiling_seed,
-        )
+        feats = self._features(running.spec.instance)
         return AppDescriptor(
             features=feats,
             app_class=self.classifier.classify(feats),

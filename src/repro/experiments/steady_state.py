@@ -12,6 +12,7 @@ class-priority pairing compared against plain FIFO pairing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import field as dataclasses_field
 
 import numpy as np
 
@@ -22,6 +23,7 @@ from repro.core.stp import SelfTuningPredictor
 from repro.hardware.node import ATOM_C2758, NodeSpec
 from repro.mapreduce.engine import ClusterEngine
 from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
+from repro.telemetry.profiling import EngineTelemetry
 from repro.utils.rng import SeedLike, rng_from
 from repro.utils.tables import render_table
 from repro.utils.units import GB
@@ -53,6 +55,12 @@ class SteadyStateMetrics:
 @dataclass(frozen=True)
 class SteadyStateReport:
     runs: tuple[SteadyStateMetrics, ...]
+    #: Engine hot-path counters per run (events, recontext cache hit
+    #: rate), keyed by run label.  Diagnostic only — not rendered, so
+    #: the report's text output is independent of engine internals.
+    telemetry: dict[str, "EngineTelemetry"] = dataclasses_field(
+        default_factory=dict, compare=False
+    )
 
     def render(self) -> str:
         rows = [
@@ -100,9 +108,11 @@ def run_steady_state(
 ) -> SteadyStateReport:
     """Stream one Poisson workload through ECoST and FIFO pairing."""
     arrivals = _poisson_workload(n_jobs, mean_interarrival_s, seed)
+    telemetry: dict[str, EngineTelemetry] = {}
 
     def run(label: str, pairing: PairingPolicy) -> SteadyStateMetrics:
         cluster = ClusterEngine(n_nodes, node, constants=constants)
+        telemetry[label] = cluster.telemetry
         controller = ECoSTController(
             cluster, stp, classifier,
             pairing=pairing, node=node, constants=constants,
@@ -132,4 +142,4 @@ def run_steady_state(
 
     ecost = run("class-priority (ECoST)", PairingPolicy())
     fifo = run("FIFO pairing", PairingPolicy(priority={c: 0 for c in AppClass}))
-    return SteadyStateReport(runs=(ecost, fifo))
+    return SteadyStateReport(runs=(ecost, fifo), telemetry=telemetry)

@@ -3,11 +3,11 @@
 Execution model
 ---------------
 Each running job is a *fluid activity*: the shared cost kernel
-(:func:`repro.model.costmodel.standalone_metrics`) gives its standalone
-duration and resource-demand profile under the current co-location
-context (LLC module sharing, footprint overcommit, disk stream count).
-Co-resident jobs all progress at rate ``1/stretch`` where ``stretch``
-is the fluid oversubscription factor of
+(:func:`repro.model.costmodel.standalone_metrics_scalar`) gives its
+standalone duration and resource-demand profile under the current
+co-location context (LLC module sharing, footprint overcommit, disk
+stream count).  Co-resident jobs all progress at rate ``1/stretch``
+where ``stretch`` is the fluid oversubscription factor of
 :func:`repro.model.costmodel.fluid_stretch`.
 
 Whenever the running set of a node changes (submit/finish), every
@@ -22,11 +22,29 @@ The closed-form :func:`~repro.model.costmodel.pair_metrics` is this
 engine's two-job special case, up to one documented approximation (the
 closed form keeps the co-location context during the tail segment; the
 engine re-evaluates it) — the consistency test-suite bounds the gap.
+
+Hot path
+--------
+Three structures keep the per-event cost flat (see
+``docs/ARCHITECTURE.md`` §"The indexed event core"):
+
+* the **scalar cost kernel** — per-job metrics are plain floats,
+  bit-identical to the broadcastable NumPy path but with zero array
+  allocations;
+* the **recontext cache** (:class:`RecontextCache`) — identical
+  ``(profile, config, co-runner context)`` running sets share one
+  memoized metric evaluation, with hit/miss counters surfaced through
+  :class:`repro.telemetry.profiling.EngineTelemetry`;
+* the **indexed event core** — nodes advance lazily (only when their
+  own membership changes), and the cluster keeps at most one live
+  completion entry per node in its event heap, invalidated by a
+  per-node generation counter instead of speculative re-arming.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
@@ -37,10 +55,18 @@ from repro.mapreduce.job import JobResult, JobSpec
 from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
 from repro.model.costmodel import (
     JobMetrics,
-    colocation_context,
+    ScalarJobMetrics,
+    colocation_context_scalar,
     fluid_stretch,
-    standalone_metrics,
+    standalone_metrics_scalar,
 )
+
+def _new_telemetry():
+    # Imported lazily: repro.telemetry.dstat consumes IntervalRecord
+    # from this module, so a module-level import would be circular.
+    from repro.telemetry.profiling import EngineTelemetry
+
+    return EngineTelemetry()
 
 
 @dataclass(frozen=True)
@@ -65,21 +91,238 @@ class IntervalRecord:
         return self.end - self.start
 
 
+# ------------------------------------------------------------- recorders
+class FullIntervalRecorder:
+    """Default recorder: one :class:`IntervalRecord` per segment."""
+
+    mode = "full"
+
+    def __init__(self) -> None:
+        self.intervals: list[IntervalRecord] = []
+
+    def record(
+        self,
+        engine: "NodeEngine",
+        start: float,
+        end: float,
+        watts: float,
+        stretch: float,
+        u_disk: float,
+        u_net: float,
+        u_mem: float,
+    ) -> None:
+        self.intervals.append(
+            IntervalRecord(
+                node_id=engine.node_id,
+                start=start,
+                end=end,
+                power_watts=watts,
+                stretch=stretch,
+                job_ids=tuple(r.spec.job_id for r in engine.running),
+                u_cpu_per_job=tuple(
+                    r.metrics.u_cpu / stretch for r in engine.running
+                ),
+                u_disk=u_disk,
+                u_net=u_net,
+                u_mem=u_mem,
+                frequency_per_job=tuple(
+                    r.spec.config.frequency for r in engine.running
+                ),
+                mappers_per_job=tuple(
+                    r.spec.config.n_mappers for r in engine.running
+                ),
+            )
+        )
+
+    def busy_between(self, t0: float, t1: float) -> tuple[float, float]:
+        """(busy energy, busy seconds) overlapping ``[t0, t1]``."""
+        busy = 0.0
+        covered = 0.0
+        for seg in self.intervals:
+            lo, hi = max(seg.start, t0), min(seg.end, t1)
+            if hi > lo:
+                busy += seg.power_watts * (hi - lo)
+                covered += hi - lo
+        return busy, covered
+
+
+class ColumnarIntervalRecorder:
+    """Memory-lean recorder: parallel scalar columns, no per-job tuples.
+
+    Long streaming runs accumulate one Python float per column per
+    segment instead of an :class:`IntervalRecord` with three tuples —
+    windowed energy queries still work, job-level trace reconstruction
+    does not.
+    """
+
+    mode = "columnar"
+
+    def __init__(self) -> None:
+        self.starts: list[float] = []
+        self.ends: list[float] = []
+        self.power_watts: list[float] = []
+        self.stretch: list[float] = []
+        self.u_disk: list[float] = []
+        self.u_net: list[float] = []
+        self.u_mem: list[float] = []
+        self.n_jobs: list[int] = []
+
+    def record(self, engine, start, end, watts, stretch, u_disk, u_net, u_mem):
+        self.starts.append(start)
+        self.ends.append(end)
+        self.power_watts.append(watts)
+        self.stretch.append(stretch)
+        self.u_disk.append(u_disk)
+        self.u_net.append(u_net)
+        self.u_mem.append(u_mem)
+        self.n_jobs.append(len(engine.running))
+
+    def busy_between(self, t0: float, t1: float) -> tuple[float, float]:
+        busy = 0.0
+        covered = 0.0
+        for start, end, watts in zip(self.starts, self.ends, self.power_watts):
+            lo, hi = max(start, t0), min(end, t1)
+            if hi > lo:
+                busy += watts * (hi - lo)
+                covered += hi - lo
+        return busy, covered
+
+
+class NullIntervalRecorder:
+    """No per-segment storage at all (prefix-sum accounting only)."""
+
+    mode = "off"
+
+    def record(self, engine, start, end, watts, stretch, u_disk, u_net, u_mem):
+        pass
+
+    def busy_between(self, t0: float, t1: float) -> tuple[float, float]:
+        raise RuntimeError(
+            "windowed energy queries need an interval recorder; this engine "
+            "runs with recorder='off' (only full-horizon energy is available)"
+        )
+
+
+_RECORDERS: dict[str, Callable[[], object]] = {
+    "full": FullIntervalRecorder,
+    "columnar": ColumnarIntervalRecorder,
+    "off": NullIntervalRecorder,
+}
+
+
+def make_recorder(mode: str):
+    """Instantiate an interval recorder by mode name."""
+    try:
+        return _RECORDERS[mode]()
+    except KeyError:
+        raise ValueError(
+            f"unknown recorder mode {mode!r}; valid: {', '.join(_RECORDERS)}"
+        ) from None
+
+
+# --------------------------------------------------------- metrics cache
+#: One running job's identity inside a recontext key.
+_JobKey = tuple
+
+#: A cache key: ("set", *identities) or ("job", identity, context).
+RecontextKey = tuple
+
+
+class RecontextCache:
+    """Bounded LRU over memoized recontext evaluations.
+
+    A steady-state run re-creates identical co-location situations
+    thousands of times, and the cost-kernel output is a pure function
+    of its inputs, so one evaluation serves them all.  Two key shapes
+    share the store:
+
+    * ``("set", identity, ...)`` — a whole running set (ordered job
+      identities) mapped to its tuple of metrics.  One lookup
+      short-circuits the entire recontext.
+    * ``("job", identity, (mpki_scale, disk_scale, extra_streams))`` —
+      one job under one co-runner context, mapped to its metrics.  The
+      fallback when the exact set is new: most of a *new* set's
+      members have still been seen under the same context before
+      (this is the ``(profile, config, co-runner context)`` key).
+
+    Entries store an *echo* of their key next to the value: a slot
+    whose echo disagrees with the lookup key (a poisoned or corrupted
+    entry) is discarded and recomputed rather than trusted, and the
+    rejection is counted on the telemetry object.  Hit/miss accounting
+    is the caller's job (the engine counts per-job metric requests).
+    """
+
+    def __init__(self, maxsize: int = 8192, *, telemetry=None) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.telemetry = telemetry if telemetry is not None else _new_telemetry()
+        self._data: OrderedDict[RecontextKey, tuple[RecontextKey, object]] = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def get(self, key: RecontextKey):
+        """Cached value for ``key``, or None."""
+        slot = self._data.get(key)
+        if slot is None:
+            return None
+        echo, value = slot
+        if echo != key:
+            # Poisoned entry: its stored key echo disagrees with the
+            # slot it sits in.  Drop it and report a miss.
+            del self._data[key]
+            self.telemetry.record_reject()
+            return None
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: RecontextKey, value) -> None:
+        self._data[key] = (key, value)
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+
+def _running_key(r: "_Running") -> _JobKey:
+    spec = r.spec
+    cfg = spec.config
+    return (
+        spec.instance.profile,
+        spec.instance.data_bytes,
+        cfg.frequency,
+        cfg.block_size,
+        cfg.n_mappers,
+        spec.remote_fraction,
+    )
+
+
 @dataclass
 class _Running:
     spec: JobSpec
     start_time: float
-    metrics: JobMetrics  # under the current context
+    metrics: ScalarJobMetrics | None  # under the current context
     remaining: float  # remaining standalone seconds under current context
     energy: float = 0.0
 
     @property
     def fraction_left(self) -> float:
-        return self.remaining / float(np.asarray(self.metrics.duration))
+        assert self.metrics is not None
+        return self.remaining / self.metrics.duration
 
 
 class NodeEngine:
-    """Event-driven simulation of one node."""
+    """Event-driven simulation of one node.
+
+    ``generation`` increments on every membership change (submit or
+    completion); the cluster tags its completion-heap entries with it
+    so stale entries are skipped in O(1) instead of re-armed.
+    """
 
     def __init__(
         self,
@@ -87,20 +330,42 @@ class NodeEngine:
         *,
         node_id: int = 0,
         constants: SimConstants = DEFAULT_CONSTANTS,
+        cache: RecontextCache | None = None,
+        recorder: str = "full",
     ) -> None:
         self.node = node
         self.node_id = node_id
         self.constants = constants
         self.running: list[_Running] = []
         self.finished: list[JobResult] = []
-        self.intervals: list[IntervalRecord] = []
+        self.cache = cache if cache is not None else RecontextCache()
+        self.telemetry = self.cache.telemetry
+        self._recorder = make_recorder(recorder)
+        self.generation = 0
+        self._seg: tuple[float, float, float, float, float] | None = None
         self._clock = 0.0
         self._busy_energy = 0.0  # energy while >=1 job runs (above nothing)
+        self._busy_time = 0.0  # seconds with >=1 job running
+        self._first_busy_start = float("inf")
+        self._last_busy_end = float("-inf")
 
     # ----------------------------------------------------------- queries
     @property
     def now(self) -> float:
         return self._clock
+
+    @property
+    def intervals(self) -> list[IntervalRecord]:
+        if self._recorder.mode != "full":
+            raise RuntimeError(
+                "per-segment IntervalRecords require recorder='full' "
+                f"(this engine uses recorder={self._recorder.mode!r})"
+            )
+        return self._recorder.intervals
+
+    @property
+    def recorder(self):
+        return self._recorder
 
     @property
     def used_cores(self) -> int:
@@ -113,73 +378,113 @@ class NodeEngine:
     def can_fit(self, spec: JobSpec) -> bool:
         return spec.config.n_mappers <= self.free_cores
 
+    def _segment_state(self) -> tuple[float, float, float, float, float]:
+        """(stretch, watts, u_disk, u_net, u_mem), cached per generation."""
+        seg = self._seg
+        if seg is None:
+            pm = self.node.power
+            if not self.running:
+                seg = (1.0, pm.idle_power, 0.0, 0.0, 0.0)
+            else:
+                bw = self.node.membw.achievable_bw
+                sum_disk = 0.0
+                sum_net = 0.0
+                sum_mem = 0.0
+                sum_core = 0.0
+                for r in self.running:
+                    m = r.metrics
+                    sum_disk += m.u_disk
+                    sum_net += m.u_net
+                    sum_mem += m.mem_demand
+                    sum_core += m.core_power
+                s = max(1.0, sum_disk, sum_net, sum_mem / bw)
+                core = sum_core / s
+                u_disk = min(sum_disk / s, 1.0)
+                u_net = min(sum_net / s, 1.0)
+                u_mem = min(sum_mem / s / bw, 1.0)
+                watts = (
+                    pm.idle_power
+                    + core
+                    + pm.mem_max_power * u_mem
+                    + pm.disk_max_power * u_disk
+                )
+                seg = (s, watts, u_disk, u_net, u_mem)
+            self._seg = seg
+        return seg
+
     @property
     def stretch(self) -> float:
-        return fluid_stretch([r.metrics for r in self.running], self.node)
+        return self._segment_state()[0]
 
     def next_completion(self) -> Optional[tuple[float, JobSpec]]:
         """(absolute time, spec) of the earliest-finishing running job."""
         if not self.running:
             return None
-        s = self.stretch
+        s = self._segment_state()[0]
         best = min(self.running, key=lambda r: r.remaining)
         return self._clock + best.remaining * s, best.spec
 
     # ---------------------------------------------------------- dynamics
     def _recontext(self) -> None:
-        """Re-evaluate every running job under the current running set."""
-        if not self.running:
+        """Re-evaluate every running job under the current running set.
+
+        Evaluation is memoized: the per-job metrics are a pure function
+        of the ordered ``(profile, data, config, remote)`` identities of
+        the running set, so identical sets share one kernel evaluation.
+        """
+        self.generation += 1
+        self._seg = None
+        running = self.running
+        if not running:
             return
-        ctx = colocation_context(
-            [r.spec.instance.profile for r in self.running],
-            [float(r.spec.config.n_mappers) for r in self.running],
-            node=self.node,
-            constants=self.constants,
-        )
-        for i, r in enumerate(self.running):
-            frac_left = r.fraction_left
-            cfg = r.spec.config
-            metrics = standalone_metrics(
-                r.spec.instance.profile,
-                r.spec.instance.data_bytes,
-                cfg.frequency,
-                cfg.block_size,
-                cfg.n_mappers,
+        cache = self.cache
+        telemetry = self.telemetry
+        ids = tuple(_running_key(r) for r in running)
+        set_key = ("set",) + ids
+        metrics = cache.get(set_key)
+        if metrics is not None:
+            telemetry.record_recontext(hit=True, jobs=len(running))
+        else:
+            ctx = colocation_context_scalar(
+                [r.spec.instance.profile for r in running],
+                [float(r.spec.config.n_mappers) for r in running],
                 node=self.node,
                 constants=self.constants,
-                mpki_scale=float(ctx.mpki_scale[i]),
-                disk_traffic_scale=float(ctx.disk_traffic_scale[i]),
-                extra_streams=float(ctx.extra_streams[i]),
-                remote_fraction=r.spec.remote_fraction,
             )
-            r.metrics = metrics
-            r.remaining = frac_left * float(np.asarray(metrics.duration))
+            out = []
+            for r, identity, c in zip(running, ids, ctx):
+                job_key = ("job", identity, c)
+                m = cache.get(job_key)
+                if m is not None:
+                    telemetry.record_recontext(hit=True)
+                else:
+                    telemetry.record_recontext(hit=False)
+                    mpki, disk, extra = c
+                    m = standalone_metrics_scalar(
+                        r.spec.instance.profile,
+                        r.spec.instance.data_bytes,
+                        r.spec.config.frequency,
+                        r.spec.config.block_size,
+                        r.spec.config.n_mappers,
+                        node=self.node,
+                        constants=self.constants,
+                        mpki_scale=mpki,
+                        disk_traffic_scale=disk,
+                        extra_streams=extra,
+                        remote_fraction=r.spec.remote_fraction,
+                    )
+                    cache.put(job_key, m)
+                out.append(m)
+            metrics = tuple(out)
+            cache.put(set_key, metrics)
+        for r, m in zip(running, metrics):
+            frac_left = 1.0 if r.metrics is None else r.fraction_left
+            r.metrics = m
+            r.remaining = frac_left * m.duration
 
     def _segment_power(self) -> tuple[float, float, float, float]:
         """(node watts, u_disk, u_net, u_mem) for the current segment."""
-        pm = self.node.power
-        s = self.stretch
-        if not self.running:
-            return pm.idle_power, 0.0, 0.0, 0.0
-        core = sum(float(np.asarray(r.metrics.core_power)) for r in self.running) / s
-        u_disk = min(
-            sum(float(np.asarray(r.metrics.u_disk)) for r in self.running) / s, 1.0
-        )
-        u_net = min(
-            sum(float(np.asarray(r.metrics.u_net)) for r in self.running) / s, 1.0
-        )
-        u_mem = min(
-            sum(float(np.asarray(r.metrics.mem_demand)) for r in self.running)
-            / s
-            / self.node.membw.achievable_bw,
-            1.0,
-        )
-        watts = (
-            pm.idle_power
-            + core
-            + pm.mem_max_power * u_mem
-            + pm.disk_max_power * u_disk
-        )
+        _s, watts, u_disk, u_net, u_mem = self._segment_state()
         return watts, u_disk, u_net, u_mem
 
     def advance_to(self, t: float) -> None:
@@ -187,6 +492,9 @@ class NodeEngine:
 
         ``t`` must not cross a completion (the caller — :meth:`step` or
         :class:`ClusterEngine` — always advances event to event).
+        Nodes advance *lazily*: the cluster only calls this when this
+        node's own membership is about to change, so one segment may
+        span many cluster-wide events.
         """
         if t < self._clock - 1e-9:
             raise ValueError(f"time moves backwards: {t} < {self._clock}")
@@ -194,30 +502,10 @@ class NodeEngine:
         if dt <= 0:
             self._clock = max(self._clock, t)
             return
-        watts, u_disk, u_net, u_mem = self._segment_power()
-        s = self.stretch
         if self.running:
-            self.intervals.append(
-                IntervalRecord(
-                    node_id=self.node_id,
-                    start=self._clock,
-                    end=t,
-                    power_watts=watts,
-                    stretch=s,
-                    job_ids=tuple(r.spec.job_id for r in self.running),
-                    u_cpu_per_job=tuple(
-                        float(np.asarray(r.metrics.u_cpu)) / s for r in self.running
-                    ),
-                    u_disk=u_disk,
-                    u_net=u_net,
-                    u_mem=u_mem,
-                    frequency_per_job=tuple(
-                        r.spec.config.frequency for r in self.running
-                    ),
-                    mappers_per_job=tuple(
-                        r.spec.config.n_mappers for r in self.running
-                    ),
-                )
+            s, watts, u_disk, u_net, u_mem = self._segment_state()
+            self._recorder.record(
+                self, self._clock, t, watts, s, u_disk, u_net, u_mem
             )
             progress = dt / s
             share = watts * dt / len(self.running)
@@ -230,6 +518,10 @@ class NodeEngine:
                 r.remaining = max(r.remaining, 0.0)
                 r.energy += share
             self._busy_energy += watts * dt
+            self._busy_time += dt
+            if self._clock < self._first_busy_start:
+                self._first_busy_start = self._clock
+            self._last_busy_end = t
         self._clock = t
 
     def submit(self, spec: JobSpec, *, time: float | None = None) -> None:
@@ -242,23 +534,8 @@ class NodeEngine:
                 f"{spec.label} needs {spec.config.n_mappers}"
             )
         spec.config.validate_for(self.node)
-        placeholder = standalone_metrics(
-            spec.instance.profile,
-            spec.instance.data_bytes,
-            spec.config.frequency,
-            spec.config.block_size,
-            spec.config.n_mappers,
-            node=self.node,
-            constants=self.constants,
-            remote_fraction=spec.remote_fraction,
-        )
         self.running.append(
-            _Running(
-                spec=spec,
-                start_time=t,
-                metrics=placeholder,
-                remaining=float(np.asarray(placeholder.duration)),
-            )
+            _Running(spec=spec, start_time=t, metrics=None, remaining=0.0)
         )
         self._recontext()
 
@@ -282,7 +559,11 @@ class NodeEngine:
             return None
         t, spec = nxt
         self.advance_to(t)
-        r = next(x for x in self.running if x.spec.job_id == spec.job_id)
+        r = next(
+            (x for x in self.running if x.spec.job_id == spec.job_id), None
+        )
+        if r is None:  # pragma: no cover - defensive
+            return None
         return self._complete(r)
 
     def run_to_completion(self) -> list[JobResult]:
@@ -295,16 +576,18 @@ class NodeEngine:
         return out
 
     def energy_between(self, t0: float, t1: float) -> float:
-        """Whole-node energy over [t0, t1], idle power when no job ran."""
+        """Whole-node energy over [t0, t1], idle power when no job ran.
+
+        Full-horizon queries (the window covers every busy segment) are
+        answered in O(1) from running prefix sums; narrower windows
+        scan the recorded intervals (and require a recorder).
+        """
         if t1 < t0:
             raise ValueError("t1 must be >= t0")
-        busy = 0.0
-        covered = 0.0
-        for seg in self.intervals:
-            lo, hi = max(seg.start, t0), min(seg.end, t1)
-            if hi > lo:
-                busy += seg.power_watts * (hi - lo)
-                covered += hi - lo
+        if t0 <= self._first_busy_start and t1 >= self._last_busy_end:
+            busy, covered = self._busy_energy, self._busy_time
+        else:
+            busy, covered = self._recorder.busy_between(t0, t1)
         idle_time = (t1 - t0) - covered
         return busy + self.node.power.idle_power * idle_time
 
@@ -320,6 +603,15 @@ class ClusterEngine:
     The default scheduler is FIFO first-fit, which is what the
     untuned mapping-policy baselines use; ECoST installs its own
     (classification + pairing + self-tuning) scheduler.
+
+    Event core: the shared :class:`~repro.mapreduce.events.EventQueue`
+    holds at most one *live* completion entry per node — each entry is
+    tagged ``(node_id, generation)`` and a node's generation advances
+    on every membership change, so superseded entries are recognised
+    and dropped in O(1) when they surface (classic lazy heap
+    invalidation, O(log n) per completion overall).  Nodes advance
+    lazily: an event only advances the node it concerns, never the
+    whole cluster.
     """
 
     def __init__(
@@ -329,11 +621,24 @@ class ClusterEngine:
         *,
         constants: SimConstants = DEFAULT_CONSTANTS,
         scheduler: SchedulerFn | None = None,
+        recorder: str = "full",
+        metrics_cache: RecontextCache | None = None,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
+        self.metrics_cache = (
+            metrics_cache if metrics_cache is not None else RecontextCache()
+        )
+        self.telemetry = self.metrics_cache.telemetry
         self.nodes = [
-            NodeEngine(node, node_id=i, constants=constants) for i in range(n_nodes)
+            NodeEngine(
+                node,
+                node_id=i,
+                constants=constants,
+                cache=self.metrics_cache,
+                recorder=recorder,
+            )
+            for i in range(n_nodes)
         ]
         self.constants = constants
         self.pending: list[JobSpec] = []
@@ -376,48 +681,57 @@ class ClusterEngine:
         engine.advance_to(self._clock)
         engine.submit(spec)
         self.pending.remove(spec)
-        nxt = engine.next_completion()
-        assert nxt is not None
-        self._events.schedule(nxt[0], ("check", node_id))
+        self._arm(engine)
 
-    def _sync_all(self, t: float) -> None:
-        for n in self.nodes:
-            n.advance_to(t)
+    def _arm(self, engine: NodeEngine) -> None:
+        """(Re-)schedule the node's earliest completion, tagged with its
+        current generation; any older entry for the node is now stale."""
+        nxt = engine.next_completion()
+        if nxt is None:
+            return
+        self._events.schedule(nxt[0], ("check", engine.node_id, engine.generation))
 
     def _handle(self, t: float, payload) -> None:
         kind = payload[0]
         self._clock = t
-        if kind == "wake":
-            self._sync_all(t)
-            self.scheduler(self, t)
-        elif kind == "arrival":
-            spec = payload[1]
-            self._sync_all(t)
-            self.pending.append(spec)
-            self.scheduler(self, t)
-        elif kind == "check":
-            node_id = payload[1]
+        if kind == "check":
+            node_id, gen = payload[1], payload[2]
             engine = self.nodes[node_id]
+            if gen != engine.generation:
+                # Superseded by a membership change since it was armed.
+                self.telemetry.record_event(stale=True)
+                return
+            self.telemetry.record_event()
             nxt = engine.next_completion()
-            if nxt is None:
+            if nxt is None:  # pragma: no cover - defensive
                 return
             due, spec = nxt
-            if due > t + 1e-9:
-                # Context changed since this check was scheduled;
-                # re-arm for the new completion time.
-                self._events.schedule(due, ("check", node_id))
+            if due > t + 1e-9:  # pragma: no cover - defensive re-arm
+                self._events.schedule(due, ("check", node_id, engine.generation))
                 return
-            self._sync_all(t)
-            r = next(x for x in engine.running if x.spec.job_id == spec.job_id)
+            engine.advance_to(t)
+            r = next(
+                (x for x in engine.running if x.spec.job_id == spec.job_id),
+                None,
+            )
+            if r is None:
+                # Completed by an earlier coincident event: skip the
+                # stale check gracefully instead of raising.
+                self.telemetry.record_event(stale=True)
+                return
             result = engine._complete(r)
             self.results.append(result)
             gid = result.spec.group_id
             if gid is not None:
                 self._group_done[gid] += 1
-            if engine.running:
-                nxt2 = engine.next_completion()
-                assert nxt2 is not None
-                self._events.schedule(nxt2[0], ("check", node_id))
+            self._arm(engine)
+            self.scheduler(self, t)
+        elif kind == "arrival":
+            self.telemetry.record_event()
+            self.pending.append(payload[1])
+            self.scheduler(self, t)
+        elif kind == "wake":
+            self.telemetry.record_event()
             self.scheduler(self, t)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown event {kind!r}")
@@ -452,6 +766,8 @@ class ClusterEngine:
 
         Idle nodes draw idle power for the entire horizon — exactly the
         accounting a wall-power meter on every node would report.
+        O(1) per node: the horizon covers every busy interval, so each
+        node answers from its running prefix sums.
         """
         h = self.makespan if horizon is None else horizon
         return sum(n.energy_between(0.0, h) for n in self.nodes)
@@ -463,16 +779,23 @@ class ClusterEngine:
 
 
 def fifo_first_fit(cluster: ClusterEngine, t: float) -> None:
-    """Default scheduler: place pending jobs FIFO onto first fitting node."""
-    placed = True
-    while placed:
-        placed = False
-        for spec in list(cluster.pending):
-            for node in cluster.nodes:
-                if node.can_fit(spec):
-                    cluster.place(spec, node.node_id)
-                    placed = True
-                    break
-            else:
-                # Head-of-line blocking is intentional: FIFO order.
-                return
+    """Default scheduler: place pending jobs FIFO onto first fitting node.
+
+    Single pass: each pending job scans nodes once (first fit), and a
+    free-slot cursor skips the prefix of fully-occupied nodes — free
+    cores only shrink while the scheduler places, so the cursor never
+    has to back up.  The first job that fits nowhere blocks the queue
+    (head-of-line blocking is intentional: FIFO order).
+    """
+    nodes = cluster.nodes
+    n = len(nodes)
+    cursor = 0  # nodes[:cursor] have zero free cores
+    for spec in list(cluster.pending):
+        while cursor < n and nodes[cursor].free_cores == 0:
+            cursor += 1
+        for i in range(cursor, n):
+            if nodes[i].can_fit(spec):
+                cluster.place(spec, nodes[i].node_id)
+                break
+        else:
+            return

@@ -39,7 +39,9 @@ two-segment schedule yields makespan and energy.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Mapping
 
 import numpy as np
@@ -86,6 +88,43 @@ class JobMetrics:
         return float(np.asarray(getattr(self, field)))
 
 
+@dataclass(frozen=True, slots=True)
+class ScalarJobMetrics:
+    """Scalar twin of :class:`JobMetrics` — plain floats, no arrays.
+
+    The discrete-event engine evaluates the cost kernel once per
+    running job per membership change, always with scalar knobs; going
+    through the broadcastable NumPy path costs ~50 array allocations
+    per call.  :func:`standalone_metrics_scalar` produces this record
+    instead, mirroring the array path operation-for-operation so the
+    two are bit-identical (``tests/test_costmodel_scalar.py`` asserts
+    exact equality over the full configuration grid).
+    """
+
+    duration: float
+    t_cpu: float
+    t_disk: float
+    t_net: float
+    t_overhead: float
+    u_cpu: float
+    u_disk: float
+    u_net: float
+    mem_demand: float
+    stall_fraction: float
+    m_eff: float
+    n_tasks: float
+    waves: float
+    mpki_eff: float
+    core_power: float
+    power: float
+    energy: float
+    edp: float
+
+    def scalar(self, field: str) -> float:
+        """API parity with :meth:`JobMetrics.scalar`."""
+        return getattr(self, field)
+
+
 @dataclass(frozen=True)
 class PairMetrics:
     """Closed-form metrics of a co-located pair on one node."""
@@ -115,6 +154,25 @@ def _dyn_scale_lookup(node: NodeSpec, frequency) -> np.ndarray:
     if not np.allclose(freqs[idx], f, rtol=1e-3):
         raise ValueError("frequency array contains non-DVFS levels")
     return scales[idx]
+
+
+@lru_cache(maxsize=None)
+def _dyn_scale_table(node: NodeSpec) -> dict[float, float]:
+    """Exact-frequency → dynamic-power-scale map for the scalar path."""
+    ref = node.dvfs.max_point
+    return {p.frequency: p.dynamic_scale(ref) for p in node.dvfs.levels}
+
+
+def _dyn_scale_scalar(node: NodeSpec, frequency: float) -> float:
+    """Scalar twin of :func:`_dyn_scale_lookup` (same tolerance rule)."""
+    table = _dyn_scale_table(node)
+    hit = table.get(frequency)
+    if hit is not None:
+        return hit
+    for f, scale in table.items():  # rtol=1e-3, like the array path
+        if abs(f - frequency) <= 1e-3 * abs(frequency):
+            return scale
+    raise ValueError("frequency array contains non-DVFS levels")
 
 
 def standalone_metrics(
@@ -240,6 +298,127 @@ def standalone_metrics(
     )
 
 
+def standalone_metrics_scalar(
+    profile: AppProfile,
+    data_bytes: float,
+    frequency: float,
+    block_size: float,
+    n_mappers: float,
+    *,
+    node: NodeSpec = ATOM_C2758,
+    constants: SimConstants = DEFAULT_CONSTANTS,
+    mpki_scale: float = 1.0,
+    disk_traffic_scale: float = 1.0,
+    extra_streams: float = 0.0,
+    remote_fraction: float | None = None,
+) -> ScalarJobMetrics:
+    """Scalar-in/scalar-out twin of :func:`standalone_metrics`.
+
+    Every expression mirrors the array path in the same operation
+    order, so results are bit-identical to evaluating the NumPy kernel
+    on 0-d inputs — both are IEEE-754 double arithmetic.  No array is
+    allocated anywhere on this path.
+    """
+    D = float(data_bytes)
+    f = float(frequency)
+    b = float(block_size)
+    m = float(n_mappers)
+    if D <= 0:
+        raise ValueError("data_bytes must be positive")
+    if m < 1:
+        raise ValueError("n_mappers must be >= 1")
+    if remote_fraction is None:
+        remote_fraction = constants.remote_shuffle_fraction
+
+    p = profile
+    n_tasks = float(math.ceil(D / b))
+    m_eff = min(m, n_tasks)
+    waves = float(math.ceil(n_tasks / m_eff))
+    imbalance = waves * m_eff / n_tasks
+
+    mpki_eff = p.llc_mpki0 * float(mpki_scale)
+    lat = node.core.effective_latency_s
+    spi = p.cpi0 / f + (mpki_eff / 1000.0) * lat
+    instr = D * (p.instructions_per_byte + p.shuffle_factor * p.reduce_instr_per_byte)
+    t_cpu = instr * spi * imbalance / m_eff
+
+    disk_bytes = (
+        D
+        * (
+            p.read_factor
+            + p.spill_factor
+            + (1.0 + constants.shuffle_reread_fraction) * p.shuffle_factor
+            + p.output_factor
+        )
+        * float(disk_traffic_scale)
+    )
+    streams = m_eff + float(extra_streams)
+    disk = node.disk
+    eff = b / (b + disk.half_extent)
+    interleave = 1.0 / (1.0 + disk.seek_penalty * max(streams - 1.0, 0.0))
+    agg_bw = disk.peak_bw * eff * interleave if streams > 0 else 0.0
+    t_disk = disk_bytes / agg_bw
+
+    net_bytes = D * p.shuffle_factor * remote_fraction
+    t_net = net_bytes / node.nic_bw
+
+    t_overhead = waves * constants.task_overhead_s
+
+    ov = p.io_overlap
+
+    def compose(t_cpu_: float) -> float:
+        t_bound = max(max(t_cpu_, t_disk), t_net)
+        t_sum = t_cpu_ + t_disk + t_net
+        return t_overhead + ov * t_bound + (1.0 - ov) * t_sum
+
+    mem_traffic = instr * (mpki_eff / 1000.0) * _CACHE_LINE * p.mem_stream_factor
+    duration0 = compose(t_cpu)
+    over = max((mem_traffic / duration0) / node.membw.achievable_bw, 1.0)
+    t_cpu = t_cpu * over
+    duration = compose(t_cpu)
+
+    u_cpu = t_cpu / duration
+    u_disk = t_disk / duration
+    u_net = t_net / duration
+    stall = ((mpki_eff / 1000.0) * lat) / spi
+
+    mem_demand = mem_traffic / duration
+    u_mem = min(mem_demand / node.membw.achievable_bw, 1.0)
+
+    pm = node.power
+    activity = u_cpu * (1.0 - stall * (1.0 - pm.stall_power_fraction))
+    core_power = m_eff * pm.core_max_power * _dyn_scale_scalar(node, f) * activity
+    power = (
+        pm.idle_power
+        + core_power
+        + pm.mem_max_power * u_mem
+        + pm.disk_max_power * min(u_disk, 1.0)
+    )
+    energy = power * duration
+    edp = energy * duration
+
+    return ScalarJobMetrics(
+        duration=duration,
+        t_cpu=t_cpu,
+        t_disk=t_disk,
+        t_net=t_net,
+        t_overhead=t_overhead,
+        u_cpu=u_cpu,
+        u_disk=u_disk,
+        u_net=u_net,
+        mem_demand=mem_demand,
+        stall_fraction=stall,
+        m_eff=m_eff,
+        n_tasks=n_tasks,
+        waves=waves,
+        mpki_eff=mpki_eff,
+        core_power=core_power,
+        power=power,
+        energy=energy,
+        edp=edp,
+    )
+
+
 def _cache_coupling(
     pa: AppProfile, ma, pb: AppProfile, mb, node: NodeSpec, constants: SimConstants
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -347,18 +526,97 @@ def colocation_context(
     )
 
 
-def fluid_stretch(jobs: list[JobMetrics], node: NodeSpec = ATOM_C2758) -> float:
+def _npsum(vals: list[float]) -> float:
+    """Sum a small float list exactly like ``np.ndarray.sum`` would.
+
+    NumPy's reduction is sequential below 8 elements but switches to an
+    8-accumulator pairwise scheme at length >= 8; the scalar context
+    path must match the array path bit-for-bit, so lengths >= 8 defer
+    to NumPy itself (one tiny allocation on a rare path).
+    """
+    if len(vals) < 8:
+        total = 0.0
+        for v in vals:
+            total += v
+        return total
+    return float(np.asarray(vals, dtype=float).sum())
+
+
+def colocation_context_scalar(
+    profiles: list[AppProfile],
+    mappers: list[float],
+    *,
+    node: NodeSpec = ATOM_C2758,
+    constants: SimConstants = DEFAULT_CONSTANTS,
+) -> list[tuple[float, float, float]]:
+    """Scalar twin of :func:`colocation_context` for the event engine.
+
+    Returns one ``(mpki_scale, disk_traffic_scale, extra_streams)``
+    tuple per job, bit-identical to the array path (which the
+    consistency tests assert), without allocating any arrays for the
+    common small running sets.
+    """
+    if len(profiles) != len(mappers):
+        raise ValueError("profiles and mappers must have equal length")
+    if not profiles:
+        raise ValueError("need at least one job")
+    m = [float(x) for x in mappers]
+    if any(x < 1 for x in m):
+        raise ValueError("mapper counts must be >= 1")
+    k = len(profiles)
+
+    cores_per_module = 2.0
+    n_modules = node.n_cores / cores_per_module
+    mods = [float(math.ceil(x / cores_per_module)) for x in m]
+    shared = max(_npsum(mods) - n_modules, 0.0)
+
+    total_m = _npsum(m)
+    footprint = 0.0
+    for i in range(k):
+        footprint += m[i] * profiles[i].footprint_per_task
+    over = max(footprint / node.available_memory_bytes - 1.0, 0.0)
+    disk_scale = 1.0 + constants.swap_penalty * over
+
+    if k == 1:
+        return [(1.0, disk_scale, total_m - m[0])]
+
+    pres = [profiles[i].cache_pressure * m[i] for i in range(k)]
+    pres_total = _npsum(pres)
+    floor = constants.cache_share_floor
+    cache = node.cache
+    out = []
+    for i in range(k):
+        share = min(max(pres[i] / pres_total, floor), 1.0 - floor)
+        # np.power, not **: NumPy's pow differs from libm by ULPs, and
+        # the array path evaluates mpki_inflation per job on 0-d inputs.
+        infl = min(
+            max(float(np.power(min(share, 1.0), -profiles[i].cache_alpha)), 1.0),
+            cache.max_inflation,
+        )
+        frac = min(shared / mods[i], 1.0)
+        mpki_scale = 1.0 + frac * (infl - 1.0)
+        out.append((mpki_scale, disk_scale, total_m - m[i]))
+    return out
+
+
+def _metric_as_float(value) -> float:
+    return value if type(value) is float else float(np.asarray(value))
+
+
+def fluid_stretch(
+    jobs: list[JobMetrics | ScalarJobMetrics], node: NodeSpec = ATOM_C2758
+) -> float:
     """Common slowdown of co-resident jobs from shared-resource demand.
 
     ``max(1, Σu_disk, Σu_net, Σdemand_mem / capacity)`` — the same rule
     :func:`pair_metrics` applies in closed form, exposed for the
-    discrete-event engine.
+    discrete-event engine.  Accepts array-backed and scalar metrics.
     """
     if not jobs:
         return 1.0
-    u_disk = sum(float(np.asarray(j.u_disk)) for j in jobs)
-    u_net = sum(float(np.asarray(j.u_net)) for j in jobs)
-    u_mem = sum(float(np.asarray(j.mem_demand)) for j in jobs) / node.membw.achievable_bw
+    u_disk = sum(_metric_as_float(j.u_disk) for j in jobs)
+    u_net = sum(_metric_as_float(j.u_net) for j in jobs)
+    u_mem = sum(_metric_as_float(j.mem_demand) for j in jobs) / node.membw.achievable_bw
     return max(1.0, u_disk, u_net, u_mem)
 
 

@@ -111,6 +111,89 @@ def reduced_vector(features: dict[str, float]) -> np.ndarray:
     return np.array([features[n] for n in REDUCED_FEATURE_NAMES], dtype=float)
 
 
+# ----------------------------------------------------- engine telemetry
+class EngineTelemetry:
+    """Hot-path accounting for the discrete-event engine.
+
+    Mirrors :class:`SweepTelemetry`'s shape for the event core: how
+    many events the cluster processed (and how many were stale entries
+    the generation counters discarded), how often the memoized
+    recontext cache short-circuited a cost-kernel evaluation, and how
+    many raw kernel evaluations were ultimately paid.  A steady-state
+    run with a recurring application mix should report a high
+    recontext hit rate — that cache is what makes per-decision model
+    evaluation cheap enough for online self-tuning.
+    """
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.stale_events = 0
+        self.recontext_hits = 0
+        self.recontext_misses = 0
+        self.recontext_rejects = 0  # poisoned entries detected by key echo
+        self.kernel_evals = 0
+
+    # -- recording -----------------------------------------------------
+    def record_event(self, *, stale: bool = False) -> None:
+        self.events += 1
+        if stale:
+            self.stale_events += 1
+
+    def record_recontext(self, *, hit: bool, jobs: int = 1) -> None:
+        """``jobs`` per-job metric requests served (hit) or paid (miss)."""
+        if hit:
+            self.recontext_hits += jobs
+        else:
+            self.recontext_misses += jobs
+            self.kernel_evals += jobs
+
+    def record_reject(self) -> None:
+        """A cache entry whose echoed key disagreed with its slot."""
+        self.recontext_rejects += 1
+
+    # -- derived -------------------------------------------------------
+    @property
+    def recontext_hit_rate(self) -> float | None:
+        """Hits / lookups, or ``None`` before any recontext ran."""
+        total = self.recontext_hits + self.recontext_misses
+        if total == 0:
+            return None
+        return self.recontext_hits / total
+
+    @property
+    def live_events(self) -> int:
+        return self.events - self.stale_events
+
+    def merge(self, other: "EngineTelemetry") -> "EngineTelemetry":
+        """Fold another telemetry object into this one (returns self)."""
+        self.events += other.events
+        self.stale_events += other.stale_events
+        self.recontext_hits += other.recontext_hits
+        self.recontext_misses += other.recontext_misses
+        self.recontext_rejects += other.recontext_rejects
+        self.kernel_evals += other.kernel_evals
+        return self
+
+    def render(self) -> str:
+        """Human-readable engine summary."""
+        lines = [
+            f"engine telemetry: {self.events} event(s), "
+            f"{self.stale_events} stale"
+        ]
+        rate = self.recontext_hit_rate
+        if rate is not None:
+            lines.append(
+                f"  recontext cache: {self.recontext_hits} hit(s) / "
+                f"{self.recontext_misses} miss(es) ({rate:.0%} hit rate), "
+                f"{self.kernel_evals} kernel eval(s)"
+            )
+        if self.recontext_rejects:
+            lines.append(
+                f"  poisoned entries rejected: {self.recontext_rejects}"
+            )
+        return "\n".join(lines)
+
+
 # ------------------------------------------------------ sweep telemetry
 class SweepTelemetry:
     """Wall-time and cache accounting for fanned-out sweeps.

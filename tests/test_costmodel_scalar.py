@@ -1,0 +1,154 @@
+"""Bit-identity of the scalar cost-kernel fast path vs the array path.
+
+The discrete-event engine runs on :func:`standalone_metrics_scalar` /
+:func:`colocation_context_scalar`; every seeded experiment output is
+therefore only reproducible if the scalar mirrors are *exactly* (not
+approximately) equal to the broadcastable NumPy originals.  These
+tests assert ``==`` on every field over randomized draws of the full
+knob/coupling space.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model.costmodel import (
+    ScalarJobMetrics,
+    _dyn_scale_scalar,
+    colocation_context,
+    colocation_context_scalar,
+    standalone_metrics,
+    standalone_metrics_scalar,
+)
+from repro.utils.units import GB, GHZ, MB
+from repro.workloads.registry import ALL_APPS, get_app
+
+FIELDS = ScalarJobMetrics.__slots__
+
+FREQS = [1.2 * GHZ, 1.6 * GHZ, 2.0 * GHZ, 2.4 * GHZ]
+BLOCKS = [64 * MB, 128 * MB, 256 * MB, 512 * MB, 1024 * MB]
+
+
+def _assert_identical(scalar: ScalarJobMetrics, arr, label: str) -> None:
+    for f in FIELDS:
+        got = getattr(scalar, f)
+        want = arr.scalar(f)
+        assert got == want, f"{label}: field {f}: {got!r} != {want!r}"
+
+
+class TestStandaloneScalar:
+    def test_grid_bit_identity(self):
+        """Every app × size × knob corner, neutral context."""
+        for code in ALL_APPS:
+            p = get_app(code).profile
+            for size in (1 * GB, 5 * GB):
+                for f in FREQS:
+                    for b in (64 * MB, 512 * MB):
+                        for m in (1, 4, 8):
+                            s = standalone_metrics_scalar(p, size, f, b, m)
+                            a = standalone_metrics(p, size, f, b, m)
+                            _assert_identical(s, a, f"{code}/{size}/{f}/{b}/{m}")
+
+    def test_randomized_with_couplings(self):
+        """Random coupling scales (the co-location regime)."""
+        rng = np.random.default_rng(7)
+        for _ in range(300):
+            p = get_app(ALL_APPS[int(rng.integers(len(ALL_APPS)))]).profile
+            size = int(rng.integers(1, 20)) * 512 * MB
+            f = FREQS[int(rng.integers(4))]
+            b = BLOCKS[int(rng.integers(5))]
+            m = int(rng.integers(1, 9))
+            mpki = float(1.0 + rng.random() * 2.0)
+            disk = float(1.0 + rng.random())
+            extra = float(rng.integers(0, 9))
+            rf = None if rng.random() < 0.5 else float(rng.random())
+            s = standalone_metrics_scalar(
+                p, size, f, b, m, mpki_scale=mpki,
+                disk_traffic_scale=disk, extra_streams=extra,
+                remote_fraction=rf,
+            )
+            a = standalone_metrics(
+                p, size, f, b, m, mpki_scale=mpki,
+                disk_traffic_scale=disk, extra_streams=extra,
+                remote_fraction=rf,
+            )
+            _assert_identical(s, a, "randomized")
+
+    def test_scalar_fields_are_plain_floats(self):
+        s = standalone_metrics_scalar(get_app("wc").profile, 1 * GB, 2.4 * GHZ, 128 * MB, 4)
+        for f in FIELDS:
+            assert type(getattr(s, f)) is float
+        assert s.scalar("edp") == s.edp
+
+    def test_derived_invariants(self):
+        s = standalone_metrics_scalar(get_app("st").profile, 5 * GB, 1.6 * GHZ, 256 * MB, 4)
+        assert s.energy == pytest.approx(s.power * s.duration)
+        assert s.edp == pytest.approx(s.energy * s.duration)
+        assert s.n_tasks == math.ceil(5 * GB / (256 * MB))
+
+
+class TestDynScaleScalar:
+    def test_matches_dvfs_levels(self):
+        from repro.hardware.node import ATOM_C2758
+
+        for f in FREQS:
+            point = ATOM_C2758.dvfs.point_for(f)
+            assert _dyn_scale_scalar(ATOM_C2758, f) == point.dynamic_scale(
+                ATOM_C2758.dvfs.max_point
+            )
+
+    def test_tolerance_matches_array_path(self):
+        from repro.hardware.node import ATOM_C2758
+
+        f = 2.4 * GHZ * (1.0 + 5e-4)  # inside the rtol=1e-3 window
+        assert _dyn_scale_scalar(ATOM_C2758, f) == _dyn_scale_scalar(
+            ATOM_C2758, 2.4 * GHZ
+        )
+
+    def test_rejects_non_dvfs_frequency(self):
+        from repro.hardware.node import ATOM_C2758
+
+        with pytest.raises(ValueError, match="non-DVFS"):
+            _dyn_scale_scalar(ATOM_C2758, 3.1 * GHZ)
+
+
+class TestColocationContextScalar:
+    def test_solo_neutral(self):
+        p = get_app("wc").profile
+        ctx = colocation_context_scalar([p], [4.0])
+        arr = colocation_context([p], [4.0])
+        assert len(ctx) == 1
+        mpki, disk, extra = ctx[0]
+        assert mpki == float(np.asarray(arr.mpki_scale).reshape(-1)[0])
+        assert disk == float(np.asarray(arr.disk_traffic_scale).reshape(-1)[0])
+        assert extra == float(np.asarray(arr.extra_streams).reshape(-1)[0])
+
+    def test_randomized_sets_bit_identity(self):
+        rng = np.random.default_rng(11)
+        for _ in range(500):
+            k = int(rng.integers(1, 5))
+            profiles, mappers = [], []
+            for _ in range(k):
+                profiles.append(
+                    get_app(ALL_APPS[int(rng.integers(len(ALL_APPS)))]).profile
+                )
+                mappers.append(float(rng.integers(1, 5)))
+            ctx = colocation_context_scalar(profiles, mappers)
+            arr = colocation_context(profiles, mappers)
+            mpki_a = np.broadcast_to(np.asarray(arr.mpki_scale, dtype=float), (k,))
+            disk_a = np.broadcast_to(np.asarray(arr.disk_traffic_scale, dtype=float), (k,))
+            extra_a = np.broadcast_to(np.asarray(arr.extra_streams, dtype=float), (k,))
+            for i, (mpki, disk, extra) in enumerate(ctx):
+                assert mpki == float(mpki_a[i])
+                assert disk == float(disk_a[i])
+                assert extra == float(extra_a[i])
+
+    def test_validation_mirrors_array_path(self):
+        p = get_app("wc").profile
+        with pytest.raises(ValueError):
+            colocation_context_scalar([], [])
+        with pytest.raises(ValueError):
+            colocation_context_scalar([p], [0.5])
+        with pytest.raises(ValueError):
+            colocation_context_scalar([p, p], [4.0])

@@ -1,0 +1,312 @@
+#!/usr/bin/env python
+"""Tracked benchmark runner: the perf trajectory across PRs.
+
+Runs the hot-path operations of ``benchmarks/test_microbench.py``
+(without pytest) plus the heavy ``bench_steady_state_1k`` streaming
+benchmark, and writes ``BENCH_<date>.json`` mapping each op to
+``{mean_s, p50, p95, peak_rss}``.  Committing the JSON per PR gives
+the repository a performance trajectory; CI replays the suite with
+``--quick`` and fails on a >25% ``bench_steady_state_1k`` regression
+against the committed baseline (``--compare``).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py                 # full suite
+    PYTHONPATH=src python tools/bench.py --quick         # fast ops, 3 rounds
+    PYTHONPATH=src python tools/bench.py --quick --compare BENCH_2026-08-07.json
+    PYTHONPATH=src python tools/bench.py --ops bench_steady_state_1k
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import resource
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: bench_steady_state_1k must stay within this factor of the baseline.
+REGRESSION_THRESHOLD = 1.25
+#: The op the CI regression gate watches.
+GATED_OP = "bench_steady_state_1k"
+
+
+def _peak_rss_bytes() -> int:
+    """Process high-water-mark RSS (ru_maxrss is KiB on Linux)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return rss * 1024 if sys.platform.startswith("linux") else rss
+
+
+# ------------------------------------------------------------- op registry
+# Each op is (setup() -> args, run(args) -> checked result).  Setup cost
+# (dataset builds, workload generation) is excluded from the timing.
+
+def _op_solo_sweep():
+    from repro.model.sweep import sweep_solo
+    from repro.utils.units import GB
+    from repro.workloads.base import AppInstance
+    from repro.workloads.registry import get_app
+
+    inst = AppInstance(get_app("ts"), 5 * GB)
+
+    def run():
+        result = sweep_solo(inst)
+        assert len(result.edp) == 160
+
+    return run
+
+
+def _op_pair_sweep():
+    from repro.model.sweep import sweep_pair
+    from repro.utils.units import GB
+    from repro.workloads.base import AppInstance
+    from repro.workloads.registry import get_app
+
+    a = AppInstance(get_app("st"), 5 * GB)
+    b = AppInstance(get_app("fp"), 5 * GB)
+
+    def run():
+        result = sweep_pair(a, b)
+        assert len(result.edp) == 2800
+
+    return run
+
+
+def _op_pair_metrics_vectorised():
+    import numpy as np
+
+    from repro.model.costmodel import pair_metrics
+    from repro.utils.units import GB, MB
+    from repro.workloads.registry import get_app
+
+    rng = np.random.default_rng(0)
+    n = 10_000
+    freqs = rng.choice([1.2e9, 1.6e9, 2.0e9, 2.4e9], size=n)
+    blocks = rng.choice([64, 128, 256, 512, 1024], size=n) * MB
+    m1 = rng.integers(1, 8, size=n).astype(float)
+    m2 = 8.0 - m1
+    a, b = get_app("st").profile, get_app("wc").profile
+
+    def run():
+        result = pair_metrics(
+            a, 5 * GB, freqs, blocks, m1, b, 5 * GB, freqs, blocks, m2
+        )
+        assert result.edp.shape == (n,)
+
+    return run
+
+
+def _op_des_cluster():
+    from repro.mapreduce.engine import ClusterEngine
+    from repro.mapreduce.job import JobSpec
+    from repro.model.config import JobConfig
+    from repro.utils.units import GB, GHZ, MB
+    from repro.workloads.base import AppInstance
+    from repro.workloads.registry import get_app
+
+    def run():
+        cluster = ClusterEngine(n_nodes=8)
+        for i in range(16):
+            code = ("st", "wc", "ts", "gp")[i % 4]
+            cluster.submit(
+                JobSpec(
+                    instance=AppInstance(get_app(code), 5 * GB),
+                    config=JobConfig(
+                        frequency=2.4 * GHZ, block_size=256 * MB, n_mappers=4
+                    ),
+                )
+            )
+        cluster.run()
+        assert len(cluster.results) == 16
+
+    return run
+
+
+def _op_steady_state_1k():
+    from repro.mapreduce.engine import ClusterEngine
+    from repro.workloads.streams import poisson_job_stream
+
+    specs = list(poisson_job_stream(1000, tuned=True))
+
+    def run():
+        cluster = ClusterEngine(n_nodes=8, recorder="off")
+        for s in specs:
+            cluster.submit(s)
+        cluster.run()
+        assert len(cluster.results) == 1000
+        assert cluster.telemetry.recontext_hit_rate >= 0.8
+
+    return run
+
+
+def _op_functional_wordcount():
+    from repro.mapreduce.functional import MapReduceRuntime
+    from repro.workloads.registry import get_app
+
+    app = get_app("wc")
+    runtime = MapReduceRuntime(n_reducers=4, split_records=250)
+    records = list(app.generate_records(2000, seed=0))
+
+    def run():
+        output = runtime.run(app, records)
+        assert output.n_input_records == 2000
+
+    return run
+
+
+def _op_reptree_predict():
+    import numpy as np
+
+    from repro.core.database import build_database
+    from repro.core.stp import build_training_dataset
+    from repro.ml.reptree import REPTree
+    from repro.utils.units import GB
+    from repro.workloads.base import AppInstance
+    from repro.workloads.registry import get_app
+
+    instances = [
+        AppInstance(get_app(code), size)
+        for code in ("wc", "st", "ts", "fp")
+        for size in (1 * GB, 5 * GB)
+    ]
+    _db, sweeps = build_database(instances, keep_sweeps=True)
+    dataset = build_training_dataset(
+        instances, sweeps=sweeps, rows_per_pair=200, seed=0
+    )
+    tree = REPTree(seed=0).fit(dataset.X, np.log(dataset.y))
+    grid = dataset.X[:2800]
+
+    def run():
+        out = tree.predict(grid)
+        assert out.shape == (2800,)
+
+    return run
+
+
+#: op name -> (setup factory, in the quick subset?)
+OPS: dict[str, tuple] = {
+    "bench_solo_sweep": (_op_solo_sweep, True),
+    "bench_pair_sweep": (_op_pair_sweep, True),
+    "bench_pair_metrics_vectorised": (_op_pair_metrics_vectorised, True),
+    "bench_des_cluster": (_op_des_cluster, True),
+    "bench_steady_state_1k": (_op_steady_state_1k, True),
+    "bench_functional_wordcount": (_op_functional_wordcount, False),
+    "bench_reptree_predict": (_op_reptree_predict, False),
+}
+
+
+def run_op(name: str, rounds: int) -> dict:
+    """Time one op over ``rounds`` (plus one untimed warmup round)."""
+    run = OPS[name][0]()
+    run()  # warmup: first-call caches, imports, allocator growth
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return {
+        "mean_s": statistics.fmean(samples),
+        "p50": samples[len(samples) // 2],
+        "p95": samples[min(len(samples) - 1, int(len(samples) * 0.95))],
+        "peak_rss": _peak_rss_bytes(),
+        "rounds": rounds,
+    }
+
+
+def compare(results: dict, baseline_path: Path) -> int:
+    """Gate: fail if the watched op regressed beyond the threshold."""
+    baseline = json.loads(baseline_path.read_text())
+    base_ops = baseline.get("ops", baseline)
+    if GATED_OP not in base_ops or GATED_OP not in results:
+        print(f"compare: {GATED_OP} missing from baseline or this run; skipping")
+        return 0
+    base = base_ops[GATED_OP]["mean_s"]
+    now = results[GATED_OP]["mean_s"]
+    ratio = now / base
+    print(
+        f"compare: {GATED_OP} {now * 1e3:.1f} ms vs baseline "
+        f"{base * 1e3:.1f} ms ({ratio:.2f}x)"
+    )
+    if ratio > REGRESSION_THRESHOLD:
+        print(
+            f"FAIL: {GATED_OP} regressed {ratio:.2f}x > "
+            f"{REGRESSION_THRESHOLD}x threshold"
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fast op subset, 3 rounds (CI mode)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="timing rounds per op (default: 5, or 3 with --quick)",
+    )
+    parser.add_argument(
+        "--ops", nargs="*", default=None,
+        help=f"ops to run (default: suite); available: {', '.join(OPS)}",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output JSON path (default: BENCH_<date>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--compare", type=Path, default=None, metavar="BASELINE_JSON",
+        help=f"fail if {GATED_OP} regressed >25%% vs this baseline",
+    )
+    parser.add_argument(
+        "--note", default=None,
+        help="free-form note recorded in the JSON (e.g. the pre-change "
+        "reference timing)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.ops:
+        unknown = [o for o in args.ops if o not in OPS]
+        if unknown:
+            parser.error(f"unknown ops: {', '.join(unknown)}")
+        names = args.ops
+    else:
+        names = [n for n, (_, quick) in OPS.items() if quick or not args.quick]
+    rounds = args.rounds or (3 if args.quick else 5)
+
+    results = {}
+    for name in names:
+        results[name] = run_op(name, rounds)
+        r = results[name]
+        print(
+            f"{name}: mean {r['mean_s'] * 1e3:.1f} ms, "
+            f"p50 {r['p50'] * 1e3:.1f} ms, p95 {r['p95'] * 1e3:.1f} ms"
+        )
+
+    date = datetime.date.today().isoformat()
+    out = args.out or REPO_ROOT / f"BENCH_{date}.json"
+    payload = {
+        "date": date,
+        "rounds": rounds,
+        "quick": bool(args.quick),
+        "ops": results,
+    }
+    if args.note:
+        payload["note"] = args.note
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if args.compare is not None:
+        return compare(results, args.compare)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
