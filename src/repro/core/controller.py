@@ -70,6 +70,11 @@ class ECoSTController:
         self._arrivals: list[_Arrival] = []
         self._features_memo: dict[AppInstance, dict[str, float]] = {}
         self.decisions: list[str] = []  # human-readable scheduling log
+        #: Nodes the fault layer reported as flapping — never scheduled.
+        self.blacklisted: set[int] = set()
+        #: How many times the learning period was re-entered after the
+        #: surviving-node profile shifted (crash/recovery).
+        self.relearn_count = 0
         cluster.scheduler = self._schedule
 
     # ------------------------------------------------------------ intake
@@ -126,6 +131,32 @@ class ECoSTController:
             data_bytes=running.spec.instance.data_bytes,
         )
 
+    # ------------------------------------------------------- degradation
+    def _schedulable(self, engine: NodeEngine) -> bool:
+        return engine.alive and engine.node_id not in self.blacklisted
+
+    def on_node_blacklisted(self, node_id: int, t: float) -> None:
+        """The fault layer declared a node flapping: stop using it."""
+        self.blacklisted.add(node_id)
+        self.decisions.append(
+            f"t={t:8.1f}s node{node_id}: blacklisted (flapping)"
+        )
+
+    def on_cluster_change(self, t: float, alive_node_ids: Sequence[int]) -> None:
+        """The surviving-node profile shifted (crash or recovery).
+
+        The learning-period features were measured against the old
+        cluster shape, so the controller re-enters the learning period:
+        the memoized profiles are dropped and every queued or future
+        application is re-profiled before its next pairing decision.
+        """
+        self._features_memo.clear()
+        self.relearn_count += 1
+        self.decisions.append(
+            f"t={t:8.1f}s cluster: {len(alive_node_ids)} node(s) live; "
+            f"re-entering learning period"
+        )
+
     # --------------------------------------------------------- scheduling
     def _cap_mappers(self, cfg: JobConfig, free: int) -> JobConfig:
         if cfg.n_mappers <= free:
@@ -158,6 +189,8 @@ class ECoSTController:
             for engine in cluster.nodes:
                 if len(self.queue) == 0:
                     return
+                if not self._schedulable(engine):
+                    continue
                 if len(engine.running) == 1 and engine.free_cores >= 1:
                     run_desc = self._running_descriptor(engine)
                     partner = self.pairing.choose_partner(
@@ -177,6 +210,8 @@ class ECoSTController:
             for engine in cluster.nodes:
                 if len(self.queue) == 0:
                     return
+                if not self._schedulable(engine):
+                    continue
                 if not engine.running:
                     head = self.pairing.choose_partner(self.queue, None)
                     if head is None:

@@ -101,6 +101,13 @@ def _ext_char():
     return run_characterization()
 
 
+@_register("EXT-FAULT", "extension: EDP degradation vs fault-injection rate")
+def _ext_fault():
+    from repro.experiments.fault_tolerance import run_fault_tolerance
+
+    return run_fault_tolerance()
+
+
 @_register("EXT-CORR", "extension: counter-outcome correlation analysis")
 def _ext_corr():
     from repro.analysis.correlation import correlate_with_outcomes

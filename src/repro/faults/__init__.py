@@ -1,0 +1,24 @@
+"""Seeded fault injection and Hadoop-style failure recovery.
+
+The discrete-event engine assumes every task, node and HDFS block
+survives; this package supplies the failure substrate a production
+scheduler is judged against.  :class:`~repro.faults.plan.InjectionPlan`
+draws a deterministic schedule of task failures, node crashes (with
+paired recoveries) and straggler slowdowns from one seed, and
+:class:`~repro.faults.injector.FaultInjector` replays it through a
+:class:`~repro.mapreduce.engine.ClusterEngine`, implementing task
+re-execution, speculative duplicates with first-finisher-wins, HDFS
+re-replication, and flapping-node blacklisting.  With an empty plan a
+run is byte-identical to a healthy one — the golden suites pin this.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultMix, InjectionPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultMix",
+    "InjectionPlan",
+]

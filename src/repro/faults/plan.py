@@ -1,0 +1,176 @@
+"""Deterministic fault-injection plans.
+
+An :class:`InjectionPlan` is the *entire* randomness of a faulty run,
+drawn up front from one seed: a time-ordered tuple of
+:class:`FaultEvent` records saying *when* each fault strikes, *which*
+node it targets, and (for stragglers) *how severe* it is.  The
+:class:`~repro.faults.injector.FaultInjector` replays the plan as
+engine events, so the same plan against the same workload yields a
+bit-identical recovery trace — the property the golden and
+property-based suites pin.
+
+Fault kinds
+-----------
+``task_fail``
+    One running attempt on the target node is killed and re-executed
+    (Hadoop task re-execution).
+``node_crash`` / ``node_recover``
+    The node fails (every attempt lost, blocks under-replicated,
+    zero power draw) and later rejoins empty.  Crashes always carry a
+    paired recovery event after an exponential repair time.
+``straggler``
+    One running attempt's progress rate is divided by ``severity``
+    (the paper's §7 straggler coefficient promoted from a closed-form
+    fudge factor to a first-class event); speculative execution may
+    race a duplicate against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import SeedLike, rng_from
+
+#: Valid :attr:`FaultEvent.kind` values, in plan-generation order.
+FAULT_KINDS: tuple[str, ...] = (
+    "task_fail",
+    "node_crash",
+    "node_recover",
+    "straggler",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    time: float
+    kind: str
+    node_id: int
+    #: Straggler slowdown factor (>1); 1.0 for other kinds.
+    severity: float = 1.0
+    #: Uniform [0, 1) draw the injector uses to pick the victim attempt
+    #: among the node's running set — part of the plan so victim choice
+    #: is seeded, not dependent on injector internals.
+    pick: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.node_id < 0:
+            raise ValueError("node_id must be >= 0")
+        if self.severity <= 0:
+            raise ValueError("severity must be > 0")
+        if not 0.0 <= self.pick < 1.0:
+            raise ValueError("pick must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class FaultMix:
+    """Relative weights of the fault kinds in a generated plan."""
+
+    task_fail: float = 0.55
+    node_crash: float = 0.15
+    straggler: float = 0.30
+
+    def __post_init__(self) -> None:
+        for name in ("task_fail", "node_crash", "straggler"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} weight must be >= 0")
+        if self.task_fail + self.node_crash + self.straggler <= 0:
+            raise ValueError("fault mix must have positive total weight")
+
+    def rates(self, total_rate: float) -> dict[str, float]:
+        """Split a total rate into per-kind rates by weight."""
+        weight = self.task_fail + self.node_crash + self.straggler
+        return {
+            "task_fail": total_rate * self.task_fail / weight,
+            "node_crash": total_rate * self.node_crash / weight,
+            "straggler": total_rate * self.straggler / weight,
+        }
+
+
+@dataclass(frozen=True)
+class InjectionPlan:
+    """A seeded, time-ordered schedule of fault events."""
+
+    events: tuple[FaultEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """How many events of each kind the plan holds."""
+        counts = {kind: 0 for kind in FAULT_KINDS}
+        for ev in self.events:
+            counts[ev.kind] += 1
+        return counts
+
+    @classmethod
+    def empty(cls) -> "InjectionPlan":
+        """The zero-rate plan: a healthy run."""
+        return cls(events=())
+
+    @classmethod
+    def generate(
+        cls,
+        n_nodes: int,
+        horizon_s: float,
+        *,
+        rate_per_1ks: float,
+        seed: SeedLike = 0,
+        mix: FaultMix = FaultMix(),
+        mean_repair_s: float = 300.0,
+        slowdown_range: tuple[float, float] = (1.5, 4.0),
+    ) -> "InjectionPlan":
+        """Draw a plan from Poisson processes over ``[0, horizon_s]``.
+
+        ``rate_per_1ks`` is the cluster-wide expected number of fault
+        *injections* (crash recoveries ride along for free) per 1000
+        simulated seconds, split across kinds by ``mix``.  Every draw
+        comes from one generator in a fixed order, so equal seeds give
+        equal plans regardless of caller state; a zero rate gives the
+        empty plan, byte-identical to a healthy run.
+        """
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be > 0")
+        if rate_per_1ks < 0:
+            raise ValueError("rate_per_1ks must be >= 0")
+        if mean_repair_s <= 0:
+            raise ValueError("mean_repair_s must be > 0")
+        lo, hi = slowdown_range
+        if not 1.0 < lo <= hi:
+            raise ValueError("slowdown_range must satisfy 1 < lo <= hi")
+        rng = rng_from(seed)
+        events: list[FaultEvent] = []
+        for kind, rate in mix.rates(rate_per_1ks).items():
+            if rate <= 0:
+                continue
+            mean_gap = 1000.0 / rate
+            t = 0.0
+            while True:
+                t += float(rng.exponential(mean_gap))
+                if t >= horizon_s:
+                    break
+                node = int(rng.integers(n_nodes))
+                pick = float(rng.random())
+                if kind == "straggler":
+                    severity = float(rng.uniform(lo, hi))
+                    events.append(
+                        FaultEvent(t, kind, node, severity=severity, pick=pick)
+                    )
+                elif kind == "node_crash":
+                    repair = float(rng.exponential(mean_repair_s))
+                    events.append(FaultEvent(t, kind, node, pick=pick))
+                    events.append(FaultEvent(t + repair, "node_recover", node))
+                else:
+                    events.append(FaultEvent(t, kind, node, pick=pick))
+        # Stable order: by time, generation sequence breaking ties — the
+        # injector schedules events in this order, and the engine's event
+        # queue preserves insertion order at equal times.
+        indexed = sorted(enumerate(events), key=lambda pair: (pair[1].time, pair[0]))
+        return cls(events=tuple(ev for _i, ev in indexed))

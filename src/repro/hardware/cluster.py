@@ -31,3 +31,15 @@ class ClusterSpec:
     def subcluster(self, n_nodes: int) -> "ClusterSpec":
         """A cluster of the same node type with ``n_nodes`` nodes."""
         return ClusterSpec(n_nodes=n_nodes, node=self.node)
+
+    def degraded(self, n_failed: int) -> "ClusterSpec":
+        """Capacity view after ``n_failed`` nodes are lost.
+
+        At least one node must survive — the fault layer never crashes
+        the last alive node, and neither does this helper.
+        """
+        if not 0 <= n_failed < self.n_nodes:
+            raise ValueError(
+                f"n_failed must be in [0, {self.n_nodes - 1}], got {n_failed}"
+            )
+        return ClusterSpec(n_nodes=self.n_nodes - n_failed, node=self.node)

@@ -45,6 +45,13 @@ class DataNode:
     def has_block(self, block_id: str) -> bool:
         return block_id in self._blocks
 
+    def get_block(self, block_id: str) -> Block:
+        """The stored replica's metadata (re-replication source read)."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise KeyError(f"block {block_id} not on node {self.node_id}") from None
+
     def drop(self, block_id: str) -> None:
         """Remove a replica (file deletion / rebalancing)."""
         block = self._blocks.pop(block_id, None)

@@ -309,6 +309,9 @@ class _Running:
     metrics: ScalarJobMetrics | None  # under the current context
     remaining: float  # remaining standalone seconds under current context
     energy: float = 0.0
+    #: Straggler multiplier on this job's progress rate (1.0 = healthy).
+    #: A straggling job burns remaining work at ``1/(stretch*slowdown)``.
+    slowdown: float = 1.0
 
     @property
     def fraction_left(self) -> float:
@@ -342,12 +345,15 @@ class NodeEngine:
         self.telemetry = self.cache.telemetry
         self._recorder = make_recorder(recorder)
         self.generation = 0
+        self.alive = True
         self._seg: tuple[float, float, float, float, float] | None = None
         self._clock = 0.0
         self._busy_energy = 0.0  # energy while >=1 job runs (above nothing)
         self._busy_time = 0.0  # seconds with >=1 job running
         self._first_busy_start = float("inf")
         self._last_busy_end = float("-inf")
+        #: Closed [start, end] outages; end is +inf while still down.
+        self._down_intervals: list[list[float]] = []
 
     # ----------------------------------------------------------- queries
     @property
@@ -373,7 +379,14 @@ class NodeEngine:
 
     @property
     def free_cores(self) -> int:
+        if not self.alive:
+            return 0
         return self.node.n_cores - self.used_cores
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total seconds this node spent with ≥1 job running."""
+        return self._busy_time
 
     def can_fit(self, spec: JobSpec) -> bool:
         return spec.config.n_mappers <= self.free_cores
@@ -421,8 +434,8 @@ class NodeEngine:
         if not self.running:
             return None
         s = self._segment_state()[0]
-        best = min(self.running, key=lambda r: r.remaining)
-        return self._clock + best.remaining * s, best.spec
+        best = min(self.running, key=lambda r: r.remaining * r.slowdown)
+        return self._clock + best.remaining * best.slowdown * s, best.spec
 
     # ---------------------------------------------------------- dynamics
     def _recontext(self) -> None:
@@ -510,7 +523,7 @@ class NodeEngine:
             progress = dt / s
             share = watts * dt / len(self.running)
             for r in self.running:
-                r.remaining -= progress
+                r.remaining -= progress / r.slowdown
                 if r.remaining < -1e-6 * max(1.0, progress):
                     raise RuntimeError(
                         f"job {r.spec.label} overshot completion by {-r.remaining}s"
@@ -528,6 +541,8 @@ class NodeEngine:
         """Start a job now (or at ``time`` ≥ now); it must fit."""
         t = self._clock if time is None else time
         self.advance_to(t)
+        if not self.alive:
+            raise RuntimeError(f"node {self.node_id} is down")
         if not self.can_fit(spec):
             raise RuntimeError(
                 f"node {self.node_id} has {self.free_cores} free cores; "
@@ -551,6 +566,75 @@ class NodeEngine:
         self.finished.append(result)
         self._recontext()
         return result
+
+    # ------------------------------------------------------- fault path
+    # These primitives are no-ops on a healthy run; repro.faults drives
+    # them.  Every one advances membership through _recontext (or bumps
+    # the generation directly), so any completion entry armed before the
+    # fault is recognised as stale by the cluster's event core.
+    def evict(self, job_id: int) -> tuple[JobSpec, float]:
+        """Kill a running attempt without completing it.
+
+        Returns ``(spec, elapsed_seconds)`` of the killed attempt; its
+        partial work is lost, as with a Hadoop task re-execution.  The
+        caller must have advanced the node to the eviction time.
+        """
+        r = next((x for x in self.running if x.spec.job_id == job_id), None)
+        if r is None:
+            raise KeyError(f"job {job_id} is not running on node {self.node_id}")
+        elapsed = self._clock - r.start_time
+        self.running.remove(r)
+        self._recontext()
+        return r.spec, elapsed
+
+    def apply_slowdown(self, job_id: int, factor: float) -> None:
+        """Turn a running attempt into a straggler (rate ÷ ``factor``).
+
+        Factors compose multiplicatively.  Power and co-location context
+        are unchanged — a straggler occupies its cores at full demand
+        while making slow progress — so only the generation is bumped
+        (the armed completion entry is now stale), not the segment
+        state.  The caller must have advanced the node first.
+        """
+        if factor <= 0.0:
+            raise ValueError("slowdown factor must be > 0")
+        r = next((x for x in self.running if x.spec.job_id == job_id), None)
+        if r is None:
+            raise KeyError(f"job {job_id} is not running on node {self.node_id}")
+        r.slowdown *= factor
+        self.generation += 1
+
+    def crash(self) -> list[tuple[JobSpec, float]]:
+        """Fail the node at its current clock.
+
+        Every running attempt is killed (returned as ``(spec, elapsed)``
+        pairs), the node refuses work and draws zero power until
+        :meth:`restore`.  The caller must have advanced the node first.
+        """
+        if not self.alive:
+            raise RuntimeError(f"node {self.node_id} is already down")
+        lost = [(r.spec, self._clock - r.start_time) for r in self.running]
+        self.running.clear()
+        self._recontext()
+        self.alive = False
+        self._down_intervals.append([self._clock, float("inf")])
+        return lost
+
+    def restore(self) -> None:
+        """Bring a crashed node back at its current clock."""
+        if self.alive:
+            raise RuntimeError(f"node {self.node_id} is not down")
+        self.alive = True
+        self._down_intervals[-1][1] = self._clock
+
+    def down_seconds(self, t0: float, t1: float) -> float:
+        """Seconds of ``[t0, t1]`` this node spent crashed."""
+        total = 0.0
+        for start, end in self._down_intervals:
+            lo, hi = max(start, t0), min(end, t1)
+            if hi > lo:
+                total += hi - lo
+        return total
 
     def step(self) -> Optional[JobResult]:
         """Advance to the next completion and return it (None if idle)."""
@@ -589,6 +673,10 @@ class NodeEngine:
         else:
             busy, covered = self._recorder.busy_between(t0, t1)
         idle_time = (t1 - t0) - covered
+        if self._down_intervals:
+            # A crashed node draws nothing; outages never overlap busy
+            # segments (a crash evicts every running attempt first).
+            idle_time -= self.down_seconds(t0, t1)
         return busy + self.node.power.idle_power * idle_time
 
 
@@ -673,6 +761,21 @@ class ClusterEngine:
         """Schedule a bare scheduler wake-up (external arrival hooks)."""
         self._events.schedule(t, ("wake",))
 
+    def call_at(self, t: float, fn: Callable[["ClusterEngine", float], None]) -> None:
+        """Schedule ``fn(cluster, t)`` as a first-class event.
+
+        The hook by which external subsystems (fault injection, load
+        shedding) act at deterministic points of the event order without
+        the engine knowing about them.  ``fn`` is responsible for waking
+        the scheduler if it changed placement state.
+        """
+        self._events.schedule(t, ("call", fn))
+
+    @property
+    def alive_nodes(self) -> list[NodeEngine]:
+        """The nodes currently accepting work."""
+        return [n for n in self.nodes if n.alive]
+
     def place(self, spec: JobSpec, node_id: int) -> None:
         """Start a pending job on a node (scheduler API)."""
         if spec not in self.pending:
@@ -733,6 +836,9 @@ class ClusterEngine:
         elif kind == "wake":
             self.telemetry.record_event()
             self.scheduler(self, t)
+        elif kind == "call":
+            self.telemetry.record_event()
+            payload[1](self, t)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown event {kind!r}")
 

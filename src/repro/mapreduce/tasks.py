@@ -23,7 +23,12 @@ from repro.workloads.base import Application, KeyValue
 
 @dataclass(frozen=True)
 class MapTaskAttempt:
-    """Completed execution of one map task."""
+    """One execution attempt of a map task.
+
+    A failed attempt (``succeeded=False``) commits no output — Hadoop
+    discards a failed attempt's spills — and the task re-executes as a
+    fresh attempt on the next worker in round-robin order.
+    """
 
     task_id: int
     block_id: str
@@ -32,6 +37,7 @@ class MapTaskAttempt:
     n_records_in: int
     n_records_out: int
     n_spills: int
+    succeeded: bool = True
 
 
 @dataclass(frozen=True)
@@ -48,6 +54,7 @@ class TaskJobCounters:
     total_spills: int
     shuffled_segments: int
     shuffled_bytes_estimate: int
+    failed_map_attempts: int = 0
 
     @property
     def locality_fraction(self) -> float:
@@ -130,14 +137,18 @@ class TaskJobRunner:
         buffer_records: int = 500,
         use_combiner: bool = True,
         max_skips: int = 2,
+        max_attempts: int = 4,
     ) -> None:
         if n_reducers < 1:
             raise ValueError("n_reducers must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.hdfs = hdfs
         self.n_workers = n_workers
         self.n_reducers = n_reducers
         self.buffer_records = buffer_records
         self.use_combiner = use_combiner
+        self.max_attempts = max_attempts
         self.scheduler = LocalityScheduler(hdfs, n_workers, max_skips=max_skips)
 
     def _partition(self, key: object) -> int:
@@ -190,8 +201,17 @@ class TaskJobRunner:
         file_name: str,
         *,
         reader: RecordReader | None = None,
+        fault_hook: Callable[[int, int], bool] | None = None,
     ) -> tuple[list[KeyValue], TaskJobCounters, list[MapTaskAttempt]]:
-        """Run the job; returns (output records, counters, attempts)."""
+        """Run the job; returns (output records, counters, attempts).
+
+        ``fault_hook(task_id, attempt_no)`` — when given — is consulted
+        before each attempt commits; returning ``True`` kills it.  The
+        failed attempt contributes no output and the task re-executes
+        on the next worker (round-robin, Hadoop's re-schedule-elsewhere
+        policy) as a fresh attempt, up to ``max_attempts`` per task;
+        exhausting them fails the whole job, as Hadoop does.
+        """
         if reader is None:
             reader = synthetic_record_reader(app)
         pending = self.hdfs.splits_for(file_name)
@@ -204,11 +224,37 @@ class TaskJobRunner:
             assignment = self.scheduler.assign(pending, worker)
             if assignment is not None:
                 block, data_local = assignment
-                attempts.append(
-                    self._run_map_task(
-                        app, block, worker, data_local, task_id, reader, shuffle
+                attempt_worker = worker
+                for attempt_no in range(self.max_attempts):
+                    if fault_hook is not None and fault_hook(task_id, attempt_no):
+                        attempts.append(
+                            MapTaskAttempt(
+                                task_id=task_id,
+                                block_id=block.block_id,
+                                worker=attempt_worker,
+                                data_local=data_local,
+                                n_records_in=0,
+                                n_records_out=0,
+                                n_spills=0,
+                                succeeded=False,
+                            )
+                        )
+                        attempt_worker = (attempt_worker + 1) % self.n_workers
+                        data_local = self.hdfs.namenode.is_local(
+                            block.block_id, attempt_worker % self.hdfs.n_nodes
+                        )
+                        continue
+                    attempts.append(
+                        self._run_map_task(
+                            app, block, attempt_worker, data_local,
+                            task_id, reader, shuffle,
+                        )
                     )
-                )
+                    break
+                else:
+                    raise RuntimeError(
+                        f"task {task_id} failed {self.max_attempts} attempts"
+                    )
                 task_id += 1
                 idle_rounds = 0
             else:
@@ -224,16 +270,18 @@ class TaskJobRunner:
                 for kv in app.reducer(key, values):
                     output.append(kv)
                     reduce_out += 1
+        ok = [a for a in attempts if a.succeeded]
         counters = TaskJobCounters(
-            n_map_tasks=len(attempts),
+            n_map_tasks=len(ok),
             n_reduce_tasks=self.n_reducers,
-            data_local_maps=sum(1 for a in attempts if a.data_local),
-            remote_maps=sum(1 for a in attempts if not a.data_local),
-            map_input_records=sum(a.n_records_in for a in attempts),
-            map_output_records=sum(a.n_records_out for a in attempts),
+            data_local_maps=sum(1 for a in ok if a.data_local),
+            remote_maps=sum(1 for a in ok if not a.data_local),
+            map_input_records=sum(a.n_records_in for a in ok),
+            map_output_records=sum(a.n_records_out for a in ok),
             reduce_output_records=reduce_out,
-            total_spills=sum(a.n_spills for a in attempts),
+            total_spills=sum(a.n_spills for a in ok),
             shuffled_segments=shuffle.total_segments,
             shuffled_bytes_estimate=shuffle.total_bytes_estimate,
+            failed_map_attempts=len(attempts) - len(ok),
         )
         return output, counters, attempts

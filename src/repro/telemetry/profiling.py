@@ -132,12 +132,58 @@ class EngineTelemetry:
         self.recontext_misses = 0
         self.recontext_rejects = 0  # poisoned entries detected by key echo
         self.kernel_evals = 0
+        # Fault-injection / recovery counters (repro.faults).
+        self.faults_injected = 0
+        self.task_failures = 0
+        self.node_crashes = 0
+        self.node_recoveries = 0
+        self.stragglers = 0
+        self.tasks_retried = 0
+        self.speculative_launched = 0
+        self.speculative_wasted = 0
+        self.blocks_rereplicated = 0
+        self.blocks_lost = 0
+        self.nodes_blacklisted = 0
 
     # -- recording -----------------------------------------------------
     def record_event(self, *, stale: bool = False) -> None:
         self.events += 1
         if stale:
             self.stale_events += 1
+
+    def record_fault(self, kind: str) -> None:
+        """One injected fault event that actually took effect."""
+        self.faults_injected += 1
+        if kind == "task_fail":
+            self.task_failures += 1
+        elif kind == "node_crash":
+            self.node_crashes += 1
+        elif kind == "node_recover":
+            self.node_recoveries += 1
+        elif kind == "straggler":
+            self.stragglers += 1
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+    def record_retry(self) -> None:
+        """A killed attempt re-executed from scratch."""
+        self.tasks_retried += 1
+
+    def record_speculative(self, *, wasted: bool = False) -> None:
+        """A speculative duplicate launched, or a losing attempt killed."""
+        if wasted:
+            self.speculative_wasted += 1
+        else:
+            self.speculative_launched += 1
+
+    def record_rereplication(self, rereplicated: int, lost: int) -> None:
+        """Block recovery outcome after a datanode loss."""
+        self.blocks_rereplicated += rereplicated
+        self.blocks_lost += lost
+
+    def record_blacklist(self) -> None:
+        """A flapping node removed from scheduling consideration."""
+        self.nodes_blacklisted += 1
 
     def record_recontext(self, *, hit: bool, jobs: int = 1) -> None:
         """``jobs`` per-job metric requests served (hit) or paid (miss)."""
@@ -172,6 +218,17 @@ class EngineTelemetry:
         self.recontext_misses += other.recontext_misses
         self.recontext_rejects += other.recontext_rejects
         self.kernel_evals += other.kernel_evals
+        self.faults_injected += other.faults_injected
+        self.task_failures += other.task_failures
+        self.node_crashes += other.node_crashes
+        self.node_recoveries += other.node_recoveries
+        self.stragglers += other.stragglers
+        self.tasks_retried += other.tasks_retried
+        self.speculative_launched += other.speculative_launched
+        self.speculative_wasted += other.speculative_wasted
+        self.blocks_rereplicated += other.blocks_rereplicated
+        self.blocks_lost += other.blocks_lost
+        self.nodes_blacklisted += other.nodes_blacklisted
         return self
 
     def render(self) -> str:
@@ -190,6 +247,18 @@ class EngineTelemetry:
         if self.recontext_rejects:
             lines.append(
                 f"  poisoned entries rejected: {self.recontext_rejects}"
+            )
+        if self.faults_injected:
+            lines.append(
+                f"  faults: {self.faults_injected} injected "
+                f"({self.task_failures} task, {self.node_crashes} crash, "
+                f"{self.node_recoveries} recover, {self.stragglers} straggler), "
+                f"{self.tasks_retried} retried, "
+                f"{self.speculative_launched} speculative "
+                f"({self.speculative_wasted} wasted), "
+                f"{self.blocks_rereplicated} block(s) re-replicated, "
+                f"{self.blocks_lost} lost, "
+                f"{self.nodes_blacklisted} node(s) blacklisted"
             )
         return "\n".join(lines)
 

@@ -13,6 +13,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.utils.rng import SeedLike, rng_from
 from repro.workloads import datagen
 from repro.workloads.base import Application, KeyValue
 from repro.workloads.profiles import class_for, profile_for
@@ -208,10 +209,10 @@ class HiddenMarkovModel(Application):
     code = "hmm"
     name = "HMM"
 
-    def __init__(self, n_states: int = 4, n_symbols: int = 8, seed: int = 7) -> None:
+    def __init__(self, n_states: int = 4, n_symbols: int = 8, seed: SeedLike = 7) -> None:
         self.app_class = class_for(self.code)
         self.profile = profile_for(self.code)
-        rng = np.random.default_rng(seed)
+        rng = rng_from(seed)
         self.n_states = n_states
         self.n_symbols = n_symbols
         self.trans = rng.dirichlet(np.ones(n_states), size=n_states)
@@ -257,10 +258,10 @@ class KMeans(Application):
     code = "km"
     name = "K-Means"
 
-    def __init__(self, n_clusters: int = 5, n_dims: int = 8, seed: int = 11) -> None:
+    def __init__(self, n_clusters: int = 5, n_dims: int = 8, seed: SeedLike = 11) -> None:
         self.app_class = class_for(self.code)
         self.profile = profile_for(self.code)
-        rng = np.random.default_rng(seed)
+        rng = rng_from(seed)
         self.n_clusters = n_clusters
         self.n_dims = n_dims
         self.centroids = rng.normal(scale=6.0, size=(n_clusters, n_dims))

@@ -51,6 +51,7 @@ def poisson_job_stream(
     block_sizes: Sequence[int] = STREAM_BLOCK_SIZES,
     mapper_range: tuple[int, int] = (2, 5),
     tuned: bool = False,
+    job_ids_from: int | None = None,
 ) -> Iterator[JobSpec]:
     """Yield ``n_jobs`` fully-configured specs with Poisson arrivals.
 
@@ -63,13 +64,18 @@ def poisson_job_stream(
 
     Deterministic for a given seed: every per-job attribute is drawn
     from one stream in a fixed order, so the workload is reproducible
-    bit-for-bit.
+    bit-for-bit.  By default job ids come from the process-global
+    counter (safe but different on every call); ``job_ids_from``
+    assigns sequential ids starting there instead, making labels — and
+    anything rendered from them, like a fault-recovery trace —
+    identical across runs.  The caller then owns id uniqueness within
+    one cluster.
     """
     if n_jobs < 0:
         raise ValueError("n_jobs must be >= 0")
     rng = rng_from(seed)
     t = 0.0
-    for _ in range(n_jobs):
+    for i in range(n_jobs):
         t += float(rng.exponential(mean_interarrival_s))
         code = app_codes[int(rng.integers(len(app_codes)))]
         size = int(rng.choice(data_sizes))
@@ -81,8 +87,16 @@ def poisson_job_stream(
             b = block_sizes[int(rng.integers(len(block_sizes)))]
             m = int(rng.integers(*mapper_range))
             config = JobConfig(frequency=f, block_size=b, n_mappers=m)
-        yield JobSpec(
-            instance=AppInstance(app, size),
-            config=config,
-            submit_time=t,
-        )
+        if job_ids_from is None:
+            yield JobSpec(
+                instance=AppInstance(app, size),
+                config=config,
+                submit_time=t,
+            )
+        else:
+            yield JobSpec(
+                instance=AppInstance(app, size),
+                config=config,
+                submit_time=t,
+                job_id=job_ids_from + i,
+            )

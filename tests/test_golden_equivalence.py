@@ -44,6 +44,20 @@ class TestGoldenByteIdentity:
         report = run_robustness(get_mlm("reptree"))
         assert report.render() + "\n" == _golden("robustness")
 
+    def test_fault_tolerance(self):
+        from repro.experiments.fault_tolerance import run_fault_tolerance
+
+        report = run_fault_tolerance()
+        assert report.render() + "\n" == _golden("fault_tolerance")
+        # The rate-0 rows ran with an *empty* injection plan — nothing
+        # injected, nothing recovered — which is how the faults package
+        # guarantees byte-identity with a healthy run.
+        for (_policy, rate), trace in report.traces.items():
+            if rate == 0.0:
+                assert trace == ()
+            else:
+                assert trace
+
 
 class TestFig8Structure:
     """fig8 reports wall-clock timings — structure-only equivalence."""

@@ -145,6 +145,32 @@ def _op_steady_state_1k():
     return run
 
 
+def _op_faulty_steady_state():
+    from repro.faults import FaultInjector, InjectionPlan
+    from repro.mapreduce.engine import ClusterEngine
+    from repro.workloads.streams import poisson_job_stream
+
+    # The bench_steady_state_1k stream under ~2% injection (20 faults
+    # per 1000 arrivals), timing the recovery path: evictions, retries,
+    # speculative duplicates, crash/restore bookkeeping.
+    specs = list(poisson_job_stream(1000, tuned=True, job_ids_from=1))
+    horizon = specs[-1].submit_time + 4000.0
+    plan = InjectionPlan.generate(
+        8, horizon, rate_per_1ks=20_000.0 / horizon, seed=7
+    )
+
+    def run():
+        cluster = ClusterEngine(n_nodes=8, recorder="off")
+        for s in specs:
+            cluster.submit(s)
+        FaultInjector(cluster, plan).install()
+        cluster.run()
+        assert len(cluster.results) == 1000
+        assert cluster.telemetry.faults_injected > 0
+
+    return run
+
+
 def _op_functional_wordcount():
     from repro.mapreduce.functional import MapReduceRuntime
     from repro.workloads.registry import get_app
@@ -196,6 +222,7 @@ OPS: dict[str, tuple] = {
     "bench_pair_metrics_vectorised": (_op_pair_metrics_vectorised, True),
     "bench_des_cluster": (_op_des_cluster, True),
     "bench_steady_state_1k": (_op_steady_state_1k, True),
+    "bench_faulty_steady_state": (_op_faulty_steady_state, True),
     "bench_functional_wordcount": (_op_functional_wordcount, False),
     "bench_reptree_predict": (_op_reptree_predict, False),
 }
