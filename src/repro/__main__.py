@@ -11,6 +11,9 @@ Commands
     Evaluate the §8 mapping policies on one workload scenario.
 ``classify CODE [SIZE_GB]``
     Profile and classify one application, printing its features.
+``trace steady|faulty|ecost``
+    Replay a seeded run with tracing enabled; writes a
+    Perfetto-loadable Chrome trace plus flat metrics JSON.
 ``clear-cache``
     Drop the disk-cached artifacts (forces full rebuilds).
 """
@@ -84,6 +87,34 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.experiments.trace_run import run_traced
+    from repro.telemetry.tracing import validate_chrome_trace
+
+    run = run_traced(
+        args.experiment,
+        n_jobs=args.jobs,
+        n_nodes=args.nodes,
+        seed=args.seed,
+        fault_rate_per_1ks=args.fault_rate,
+    )
+    out = args.out or f"trace_{args.experiment}.json"
+    run.tracer.write(out)
+    problems = validate_chrome_trace(json.loads(open(out).read()))
+    if problems:  # pragma: no cover - exporter/validator disagreement
+        for p in problems:
+            print(f"invalid: {p}", file=sys.stderr)
+        return 1
+    metrics_out = args.metrics_out or f"metrics_{args.experiment}.json"
+    run.registry.to_json(metrics_out)
+    for key, value in run.summary().items():
+        print(f"{key:>16} = {value:g}")
+    print(f"\nwrote {out} (load in https://ui.perfetto.dev) and {metrics_out}")
+    return 0
+
+
 def _cmd_clear_cache(_args) -> int:
     from repro.experiments.artifacts import clear_cache
 
@@ -116,6 +147,23 @@ def main(argv: list[str] | None = None) -> int:
     p_cls.add_argument("code", help="application code, e.g. km")
     p_cls.add_argument("size_gb", type=int, nargs="?", default=5)
     p_cls.set_defaults(fn=_cmd_classify)
+
+    p_trace = sub.add_parser(
+        "trace", help="replay a seeded run with tracing enabled"
+    )
+    p_trace.add_argument(
+        "experiment", choices=["steady", "faulty", "ecost"],
+        help="which seeded replay to trace",
+    )
+    p_trace.add_argument("--jobs", type=int, default=60)
+    p_trace.add_argument("--nodes", type=int, default=8)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--fault-rate", type=float, default=6.0,
+                         help="fault injections per 1000 simulated seconds")
+    p_trace.add_argument("--out", help="Chrome trace path (default trace_<exp>.json)")
+    p_trace.add_argument("--metrics-out",
+                         help="flat metrics path (default metrics_<exp>.json)")
+    p_trace.set_defaults(fn=_cmd_trace)
 
     sub.add_parser("clear-cache", help="drop cached artifacts").set_defaults(
         fn=_cmd_clear_cache

@@ -33,6 +33,7 @@ from repro.mapreduce.job import JobResult, JobSpec
 from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
 from repro.model.config import JobConfig
 from repro.telemetry.profiling import profile_features
+from repro.telemetry.tracing import NULL_TRACER
 from repro.utils.rng import SeedLike
 from repro.workloads.base import AppInstance
 from repro.workloads.registry import TRAINING_APPS, instances_for
@@ -75,6 +76,8 @@ class ECoSTController:
         #: How many times the learning period was re-entered after the
         #: surviving-node profile shifted (crash/recovery).
         self.relearn_count = 0
+        #: Shared with the cluster: controller decisions land on pid 0.
+        self.tracer = getattr(cluster, "tracer", NULL_TRACER)
         cluster.scheduler = self._schedule
 
     # ------------------------------------------------------------ intake
@@ -106,8 +109,20 @@ class ECoSTController:
 
     def _classify(self, instance: AppInstance) -> QueuedApp:
         """Step 1: learning-period profiling + classification."""
+        newly_profiled = instance not in self._features_memo
         feats = self._features(instance)
         cls = self.classifier.classify(feats)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "classify",
+                "controller",
+                self.cluster.now,
+                args={
+                    "app": instance.label,
+                    "class": cls.value,
+                    "learning_period": newly_profiled,
+                },
+            )
         return QueuedApp(
             instance=instance,
             app_class=cls,
@@ -141,6 +156,10 @@ class ECoSTController:
         self.decisions.append(
             f"t={t:8.1f}s node{node_id}: blacklisted (flapping)"
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "blacklist", "controller", t, args={"node": node_id}
+            )
 
     def on_cluster_change(self, t: float, alive_node_ids: Sequence[int]) -> None:
         """The surviving-node profile shifted (crash or recovery).
@@ -156,6 +175,13 @@ class ECoSTController:
             f"t={t:8.1f}s cluster: {len(alive_node_ids)} node(s) live; "
             f"re-entering learning period"
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "relearn",
+                "controller",
+                t,
+                args={"alive_nodes": len(alive_node_ids)},
+            )
 
     # --------------------------------------------------------- scheduling
     def _cap_mappers(self, cfg: JobConfig, free: int) -> JobConfig:
@@ -173,6 +199,19 @@ class ECoSTController:
             f"t={t:8.1f}s node{node_id}: start {qa.instance.label} [{qa.app_class}] "
             f"as {cfg.label}"
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "place",
+                "controller",
+                t,
+                args={
+                    "app": qa.instance.label,
+                    "class": qa.app_class.value,
+                    "config": cfg.label,
+                    "node": node_id,
+                    "waited_s": t - qa.arrival_time,
+                },
+            )
 
     def _schedule(self, cluster: ClusterEngine, t: float) -> None:
         # Move due arrivals through classification into the wait queue.
@@ -198,6 +237,18 @@ class ECoSTController:
                     )
                     if partner is None:
                         continue
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            "pair (partner fill)",
+                            "controller",
+                            t,
+                            args={
+                                "node": engine.node_id,
+                                "running_class": run_desc.app_class.value,
+                                "partner": partner.instance.label,
+                                "partner_class": partner.app_class.value,
+                            },
+                        )
                     # The running job's knobs are already committed; the
                     # newcomer takes its side of the predicted pair
                     # configuration, capped to the free cores.
@@ -220,6 +271,19 @@ class ECoSTController:
                         self.queue, head.app_class, allow_leap=True
                     )
                     if partner is not None:
+                        if self.tracer.enabled:
+                            self.tracer.instant(
+                                "pair (empty node)",
+                                "controller",
+                                t,
+                                args={
+                                    "node": engine.node_id,
+                                    "head": head.instance.label,
+                                    "head_class": head.app_class.value,
+                                    "partner": partner.instance.label,
+                                    "partner_class": partner.app_class.value,
+                                },
+                            )
                         cfg_a, cfg_b = self.stp.predict_configs(
                             self._descriptor(head), self._descriptor(partner)
                         )

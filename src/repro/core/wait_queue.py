@@ -17,6 +17,7 @@ smaller (shorter expected occupancy).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
@@ -39,10 +40,17 @@ class QueuedApp:
 
 
 class WaitQueue:
-    """FIFO with head reservation and guarded leap-forward."""
+    """FIFO with head reservation and guarded leap-forward.
+
+    Backed by a :class:`collections.deque`: a steady-state stream pops
+    the head on every placement round, and ``list.pop(0)`` shifts the
+    whole remainder each time (O(n) per pop, O(n²) per drain).  The
+    deque pops its head in O(1); leap-forward removals at an interior
+    index stay O(n), which they were before.
+    """
 
     def __init__(self) -> None:
-        self._items: list[QueuedApp] = []
+        self._items: deque[QueuedApp] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -61,7 +69,7 @@ class WaitQueue:
     def pop_head(self) -> QueuedApp:
         if not self._items:
             raise IndexError("pop from empty wait queue")
-        return self._items.pop(0)
+        return self._items.popleft()
 
     def select(
         self,
@@ -81,19 +89,39 @@ class WaitQueue:
             return None
         if not allow_leap:
             return self.pop_head()
+        best = self._best_index(preference)
+        item = self._items[best]
+        del self._items[best]
+        return item
+
+    def _best_index(self, preference: Callable[[QueuedApp], float]) -> int:
+        """Index of the highest-scoring item; ties go to FIFO order."""
         best_i = 0
         best_score = preference(self._items[0])
-        for i, item in enumerate(self._items[1:], start=1):
+        for i, item in enumerate(self._items):
+            if i == 0:
+                continue
             score = preference(item)
             if score > best_score:
                 best_i, best_score = i, score
-        return self._items.pop(best_i)
+        return best_i
 
-    def peek_best(self, preference: Callable[[QueuedApp], float]) -> Optional[QueuedApp]:
-        """The job :meth:`select` would take, without removing it."""
+    def peek_best(
+        self,
+        preference: Callable[[QueuedApp], float],
+        *,
+        allow_leap: bool = True,
+    ) -> Optional[QueuedApp]:
+        """The job :meth:`select` would take, without removing it.
+
+        Shares :meth:`select`'s ``allow_leap`` contract: with
+        ``allow_leap=False`` the preview is the head (select always
+        pops the head then), not the preference maximum — a caller
+        previewing a no-leap decision must see the job that decision
+        will actually take.
+        """
         if not self._items:
             return None
-        return max(
-            enumerate(self._items),
-            key=lambda it: (preference(it[1]), -it[0]),
-        )[1]
+        if not allow_leap:
+            return self._items[0]
+        return self._items[self._best_index(preference)]

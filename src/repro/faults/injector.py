@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING
 from repro.faults.plan import FaultEvent, InjectionPlan
 from repro.mapreduce.engine import ClusterEngine, NodeEngine
 from repro.mapreduce.job import JobSpec
+from repro.telemetry.tracing import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.controller import ECoSTController
@@ -68,6 +69,7 @@ class FaultInjector:
         self.speculative = speculative
         self.blacklist_after = blacklist_after
         self.telemetry = cluster.telemetry
+        self.tracer = getattr(cluster, "tracer", NULL_TRACER)
         self.trace: list[str] = []
         self.skipped = 0  # plan events that found nothing to break
         self.crash_counts: dict[int, int] = {}
@@ -76,6 +78,8 @@ class FaultInjector:
         self._dups: dict[int, tuple[int, int]] = {}
         #: job_ids in cluster.pending awaiting injector re-execution.
         self._retrying: set[int] = set()
+        #: job_id -> fault time, for the recovery-episode trace span.
+        self._retry_since: dict[int, float] = {}
         self._seen_results = 0
         self._inner_scheduler = None
         self._installed = False
@@ -141,6 +145,7 @@ class FaultInjector:
     def _queue_retry(self, spec: JobSpec, t: float) -> None:
         self.telemetry.record_retry()
         self._retrying.add(spec.job_id)
+        self._retry_since.setdefault(spec.job_id, t)
         if spec not in self.cluster.pending:
             self.cluster.pending.append(spec)
         self._drain_retries(t)
@@ -161,6 +166,22 @@ class FaultInjector:
                 f"node{target}: re-executes {spec.label} "
                 f"(locality {self._locality(spec, target):.0%})",
             )
+            if self.tracer.enabled:
+                since = self._retry_since.pop(spec.job_id, t)
+                self.tracer.span(
+                    f"recovery {spec.label}",
+                    "recovery",
+                    since,
+                    t,
+                    tid=spec.job_id,
+                    args={
+                        "job": spec.label,
+                        "target_node": target,
+                        "locality": self._locality(spec, target),
+                    },
+                )
+            else:
+                self._retry_since.pop(spec.job_id, None)
 
     def _absorb_completions(self, t: float) -> None:
         """First-finisher-wins: kill the losing speculative attempt."""
@@ -170,6 +191,7 @@ class FaultInjector:
         for res in new:
             jid = res.spec.job_id
             self._retrying.discard(jid)
+            self._retry_since.pop(jid, None)
             pair = self._dups.pop(jid, None)
             if pair is None:
                 continue
@@ -185,6 +207,18 @@ class FaultInjector:
                     f"node{res.node_id}: {res.spec.label} finishes first; "
                     f"cancel duplicate on node{other} ({elapsed:.1f}s wasted)",
                 )
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "speculative waste",
+                        "fault",
+                        t,
+                        tid=jid,
+                        args={
+                            "job": res.spec.label,
+                            "loser_node": other,
+                            "wasted_s": elapsed,
+                        },
+                    )
 
     # ------------------------------------------------------ fault events
     def _on_fault(self, ev: FaultEvent, t: float) -> None:
@@ -272,6 +306,17 @@ class FaultInjector:
                 f"namenode: re-replicated {rere} block(s) from "
                 f"node{ev.node_id}, {lost_blocks} lost",
             )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "re-replication",
+                    "fault",
+                    t,
+                    args={
+                        "node": ev.node_id,
+                        "blocks": rere,
+                        "lost": lost_blocks,
+                    },
+                )
         for spec, _elapsed in lost:
             if self._drop_duplicate(spec.job_id, ev.node_id, t):
                 continue
@@ -298,6 +343,13 @@ class FaultInjector:
             f"node{node_id}: blacklisted after "
             f"{self.crash_counts[node_id]} crashes (flapping)",
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "blacklist (flapping)",
+                "fault",
+                t,
+                args={"node": node_id, "crashes": self.crash_counts[node_id]},
+            )
         if self.controller is not None:
             self.controller.on_node_blacklisted(node_id, t)
 
@@ -354,3 +406,15 @@ class FaultInjector:
             f"node{target.node_id}: speculative duplicate of "
             f"{victim.spec.label} launched",
         )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "speculative launch",
+                "fault",
+                t,
+                tid=jid,
+                args={
+                    "job": victim.spec.label,
+                    "straggler_node": ev.node_id,
+                    "duplicate_node": target.node_id,
+                },
+            )

@@ -85,19 +85,23 @@ class DiskModel:
         alloc = np.zeros_like(d)
         remaining = capacity
         todo = list(np.flatnonzero(active))
-        # Water-filling: satisfy the smallest demands first.
+        # Water-filling: satisfy the smallest demands first.  A cursor
+        # walks the sorted order instead of popping the head — each
+        # ``list.pop(0)`` shifts the whole remainder, turning the loop
+        # O(k²) for k active streams.
         todo.sort(key=lambda i: d[i])
-        while todo:
-            fair = remaining / len(todo)
-            i = todo[0]
+        head = 0
+        while head < len(todo):
+            fair = remaining / (len(todo) - head)
+            i = todo[head]
             if d[i] <= fair:
                 alloc[i] = d[i]
                 remaining -= d[i]
-                todo.pop(0)
+                head += 1
             else:
-                for j in todo:
+                for j in todo[head:]:
                     alloc[j] = fair
-                todo.clear()
+                break
         return alloc
 
     def utilization(self, demands: Sequence[float] | np.ndarray, extent_bytes) -> float:

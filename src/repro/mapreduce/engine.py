@@ -43,6 +43,8 @@ Three structures keep the per-event cost flat (see
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -60,6 +62,7 @@ from repro.model.costmodel import (
     fluid_stretch,
     standalone_metrics_scalar,
 )
+from repro.telemetry.tracing import NULL_TRACER
 
 def _new_telemetry():
     # Imported lazily: repro.telemetry.dstat consumes IntervalRecord
@@ -92,6 +95,83 @@ class IntervalRecord:
 
 
 # ------------------------------------------------------------- recorders
+class _WindowIndex:
+    """Indexed (busy energy, busy seconds) window queries over segments.
+
+    Segments arrive in time order and never overlap, so a window query
+    needs only the overlapping run ``[i, j)`` — found by bisection —
+    instead of the full linear scan the recorders used to pay per
+    query (O(segments) each, O(samples × segments) for a 1 Hz
+    resampling pass).  Two paths, both bit-identical to the scan:
+
+    * **head-anchored prefix sums** — a window covering the trace head
+      reads the running prefix sums directly (they were accumulated in
+      the same left-to-right order the scan adds in, so the floats
+      match bit for bit) plus one partial tail segment: O(log n);
+    * **bounded scan** — an interior window scans only ``[i, j)``; the
+      skipped segments contributed nothing to the old scan, so the
+      additions performed are exactly the same: O(log n + overlap).
+
+    Interior windows cannot use prefix-sum *differences*: subtracting
+    two rounded partial sums re-associates the float additions and
+    drifts from the scan by an ulp — enough to break the byte-identity
+    the golden suite pins.
+    """
+
+    def __init__(self) -> None:
+        self.starts: list[float] = []
+        self.ends: list[float] = []
+        self.watts: list[float] = []
+        self._cum_energy: list[float] = []
+        self._cum_time: list[float] = []
+        self._ordered = True
+
+    def add(self, start: float, end: float, watts: float) -> None:
+        if self.ends and start < self.ends[-1]:
+            self._ordered = False
+        prev_e = self._cum_energy[-1] if self._cum_energy else 0.0
+        prev_t = self._cum_time[-1] if self._cum_time else 0.0
+        self.starts.append(start)
+        self.ends.append(end)
+        self.watts.append(watts)
+        self._cum_energy.append(prev_e + watts * (end - start))
+        self._cum_time.append(prev_t + (end - start))
+
+    def _scan(self, lo_i: int, hi_i: int, t0: float, t1: float) -> tuple[float, float]:
+        busy = 0.0
+        covered = 0.0
+        for k in range(lo_i, hi_i):
+            lo, hi = max(self.starts[k], t0), min(self.ends[k], t1)
+            if hi > lo:
+                busy += self.watts[k] * (hi - lo)
+                covered += hi - lo
+        return busy, covered
+
+    def query(self, t0: float, t1: float) -> tuple[float, float]:
+        n = len(self.starts)
+        if n == 0:
+            return 0.0, 0.0
+        if not self._ordered:
+            return self._scan(0, n, t0, t1)
+        i = bisect_right(self.ends, t0)  # first segment with end > t0
+        j = bisect_left(self.starts, t1)  # first segment with start >= t1
+        if i >= j:
+            return 0.0, 0.0
+        if i == 0 and t0 <= self.starts[0]:
+            # Head-anchored: segments [0, j-1) lie fully inside the
+            # window, so their contribution is the running prefix sum;
+            # only the last overlapping segment can be cut by t1.
+            busy = self._cum_energy[j - 2] if j >= 2 else 0.0
+            covered = self._cum_time[j - 2] if j >= 2 else 0.0
+            lo = max(self.starts[j - 1], t0)
+            hi = min(self.ends[j - 1], t1)
+            if hi > lo:
+                busy += self.watts[j - 1] * (hi - lo)
+                covered += hi - lo
+            return busy, covered
+        return self._scan(i, j, t0, t1)
+
+
 class FullIntervalRecorder:
     """Default recorder: one :class:`IntervalRecord` per segment."""
 
@@ -99,6 +179,7 @@ class FullIntervalRecorder:
 
     def __init__(self) -> None:
         self.intervals: list[IntervalRecord] = []
+        self._index = _WindowIndex()
 
     def record(
         self,
@@ -133,17 +214,11 @@ class FullIntervalRecorder:
                 ),
             )
         )
+        self._index.add(start, end, watts)
 
     def busy_between(self, t0: float, t1: float) -> tuple[float, float]:
         """(busy energy, busy seconds) overlapping ``[t0, t1]``."""
-        busy = 0.0
-        covered = 0.0
-        for seg in self.intervals:
-            lo, hi = max(seg.start, t0), min(seg.end, t1)
-            if hi > lo:
-                busy += seg.power_watts * (hi - lo)
-                covered += hi - lo
-        return busy, covered
+        return self._index.query(t0, t1)
 
 
 class ColumnarIntervalRecorder:
@@ -158,19 +233,27 @@ class ColumnarIntervalRecorder:
     mode = "columnar"
 
     def __init__(self) -> None:
-        self.starts: list[float] = []
-        self.ends: list[float] = []
-        self.power_watts: list[float] = []
+        self._index = _WindowIndex()
         self.stretch: list[float] = []
         self.u_disk: list[float] = []
         self.u_net: list[float] = []
         self.u_mem: list[float] = []
         self.n_jobs: list[int] = []
 
+    @property
+    def starts(self) -> list[float]:
+        return self._index.starts
+
+    @property
+    def ends(self) -> list[float]:
+        return self._index.ends
+
+    @property
+    def power_watts(self) -> list[float]:
+        return self._index.watts
+
     def record(self, engine, start, end, watts, stretch, u_disk, u_net, u_mem):
-        self.starts.append(start)
-        self.ends.append(end)
-        self.power_watts.append(watts)
+        self._index.add(start, end, watts)
         self.stretch.append(stretch)
         self.u_disk.append(u_disk)
         self.u_net.append(u_net)
@@ -178,14 +261,7 @@ class ColumnarIntervalRecorder:
         self.n_jobs.append(len(engine.running))
 
     def busy_between(self, t0: float, t1: float) -> tuple[float, float]:
-        busy = 0.0
-        covered = 0.0
-        for start, end, watts in zip(self.starts, self.ends, self.power_watts):
-            lo, hi = max(start, t0), min(end, t1)
-            if hi > lo:
-                busy += watts * (hi - lo)
-                covered += hi - lo
-        return busy, covered
+        return self._index.query(t0, t1)
 
 
 class NullIntervalRecorder:
@@ -335,10 +411,14 @@ class NodeEngine:
         constants: SimConstants = DEFAULT_CONSTANTS,
         cache: RecontextCache | None = None,
         recorder: str = "full",
+        tracer=NULL_TRACER,
     ) -> None:
         self.node = node
         self.node_id = node_id
         self.constants = constants
+        self.tracer = tracer
+        if tracer.enabled:
+            tracer.name_process(1 + node_id, f"node {node_id}")
         self.running: list[_Running] = []
         self.finished: list[JobResult] = []
         self.cache = cache if cache is not None else RecontextCache()
@@ -565,7 +645,61 @@ class NodeEngine:
         self.running.remove(r)
         self.finished.append(result)
         self._recontext()
+        if self.tracer.enabled:
+            self._trace_job(r, result)
         return result
+
+    def _trace_job(self, r: _Running, result: JobResult) -> None:
+        """Emit the job-lifetime span plus derived phase sub-spans.
+
+        The fluid model has no explicit map/shuffle phases, so the
+        breakdown is *derived*: the job's wall span is split into its
+        ``ceil(waves)`` map waves with a shuffle/reduce tail sized by
+        the network share ``t_net / duration`` of the final context.
+        Purely observational — reads completed state only.
+        """
+        spec = result.spec
+        pid = 1 + self.node_id
+        tid = spec.job_id
+        start, end = result.start_time, result.finish_time
+        tracer = self.tracer
+        tracer.name_thread(pid, tid, spec.label)
+        tracer.span(
+            spec.label,
+            "job",
+            start,
+            end,
+            pid=pid,
+            tid=tid,
+            args={
+                "job_id": spec.job_id,
+                "app": spec.instance.label,
+                "config": spec.config.label,
+                "node": self.node_id,
+                "energy_joules": result.energy_joules,
+                "remote_fraction": spec.remote_fraction,
+            },
+        )
+        m = r.metrics
+        wall = end - start
+        if m is None or wall <= 0.0 or m.duration <= 0.0:
+            return
+        tail = wall * min(max(m.t_net / m.duration, 0.0), 0.9)
+        n_waves = min(max(int(math.ceil(m.waves)), 1), 64)
+        per = (wall - tail) / n_waves
+        for w in range(n_waves):
+            tracer.span(
+                f"map wave {w + 1}/{n_waves}",
+                "phase",
+                start + w * per,
+                start + (w + 1) * per,
+                pid=pid,
+                tid=tid,
+            )
+        if tail > 0.0:
+            tracer.span(
+                "shuffle/reduce", "phase", end - tail, end, pid=pid, tid=tid
+            )
 
     # ------------------------------------------------------- fault path
     # These primitives are no-ops on a healthy run; repro.faults drives
@@ -585,6 +719,15 @@ class NodeEngine:
         elapsed = self._clock - r.start_time
         self.running.remove(r)
         self._recontext()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "evict",
+                "fault",
+                self._clock,
+                pid=1 + self.node_id,
+                tid=job_id,
+                args={"job": r.spec.label, "elapsed_s": elapsed},
+            )
         return r.spec, elapsed
 
     def apply_slowdown(self, job_id: int, factor: float) -> None:
@@ -603,6 +746,15 @@ class NodeEngine:
             raise KeyError(f"job {job_id} is not running on node {self.node_id}")
         r.slowdown *= factor
         self.generation += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "straggler",
+                "fault",
+                self._clock,
+                pid=1 + self.node_id,
+                tid=job_id,
+                args={"job": r.spec.label, "factor": factor},
+            )
 
     def crash(self) -> list[tuple[JobSpec, float]]:
         """Fail the node at its current clock.
@@ -618,6 +770,14 @@ class NodeEngine:
         self._recontext()
         self.alive = False
         self._down_intervals.append([self._clock, float("inf")])
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "node crash",
+                "fault",
+                self._clock,
+                pid=1 + self.node_id,
+                args={"node": self.node_id, "jobs_lost": len(lost)},
+            )
         return lost
 
     def restore(self) -> None:
@@ -626,6 +786,15 @@ class NodeEngine:
             raise RuntimeError(f"node {self.node_id} is not down")
         self.alive = True
         self._down_intervals[-1][1] = self._clock
+        if self.tracer.enabled:
+            self.tracer.span(
+                "node down",
+                "fault",
+                self._down_intervals[-1][0],
+                self._clock,
+                pid=1 + self.node_id,
+                args={"node": self.node_id},
+            )
 
     def down_seconds(self, t0: float, t1: float) -> float:
         """Seconds of ``[t0, t1]`` this node spent crashed."""
@@ -711,6 +880,7 @@ class ClusterEngine:
         scheduler: SchedulerFn | None = None,
         recorder: str = "full",
         metrics_cache: RecontextCache | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
@@ -718,6 +888,9 @@ class ClusterEngine:
             metrics_cache if metrics_cache is not None else RecontextCache()
         )
         self.telemetry = self.metrics_cache.telemetry
+        self.tracer = tracer
+        if tracer.enabled:
+            tracer.name_process(0, "cluster")
         self.nodes = [
             NodeEngine(
                 node,
@@ -725,6 +898,7 @@ class ClusterEngine:
                 constants=constants,
                 cache=self.metrics_cache,
                 recorder=recorder,
+                tracer=tracer,
             )
             for i in range(n_nodes)
         ]
@@ -829,10 +1003,18 @@ class ClusterEngine:
                 self._group_done[gid] += 1
             self._arm(engine)
             self.scheduler(self, t)
+            if self.tracer.enabled:
+                self.tracer.counter(
+                    "pending jobs", t, {"count": len(self.pending)}
+                )
         elif kind == "arrival":
             self.telemetry.record_event()
             self.pending.append(payload[1])
             self.scheduler(self, t)
+            if self.tracer.enabled:
+                self.tracer.counter(
+                    "pending jobs", t, {"count": len(self.pending)}
+                )
         elif kind == "wake":
             self.telemetry.record_event()
             self.scheduler(self, t)

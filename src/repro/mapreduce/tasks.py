@@ -12,8 +12,9 @@ report shows.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Sequence
+from typing import Callable, Iterator, MutableSequence, Sequence
 
 from repro.hdfs.blocks import Block
 from repro.hdfs.filesystem import MiniHdfs
@@ -104,11 +105,19 @@ class LocalityScheduler:
         if self.max_skips < 0:
             raise ValueError("max_skips must be >= 0")
 
-    def assign(self, pending: list[Block], worker: int) -> tuple[Block, bool] | None:
+    def assign(
+        self, pending: MutableSequence[Block], worker: int
+    ) -> tuple[Block, bool] | None:
         """Pick a block for ``worker``; returns (block, data_local).
 
         Returns ``None`` when the worker should wait this round (delay
-        scheduling) even though remote work exists.
+        scheduling) even though remote work exists.  ``pending`` may be
+        a list or (preferably) a :class:`collections.deque` — the
+        remote-work path takes the queue head, which a list removes by
+        shifting every remaining element (O(n) per remote task, O(n²)
+        per job) while a deque removes in O(1).  ``del pending[i]``
+        keeps the same FIFO order on either container, so the
+        assignment sequence is identical.
         """
         if not pending:
             return None
@@ -116,13 +125,16 @@ class LocalityScheduler:
         for i, block in enumerate(pending):
             if self.hdfs.namenode.is_local(block.block_id, node):
                 self._skips[worker] = 0
-                return pending.pop(i), True
+                del pending[i]
+                return block, True
         skips = self._skips.get(worker, 0)
         if skips < self.max_skips:
             self._skips[worker] = skips + 1
             return None
         self._skips[worker] = 0
-        return pending.pop(0), False
+        head = pending[0]
+        del pending[0]
+        return head, False
 
 
 class TaskJobRunner:
@@ -214,7 +226,7 @@ class TaskJobRunner:
         """
         if reader is None:
             reader = synthetic_record_reader(app)
-        pending = self.hdfs.splits_for(file_name)
+        pending = deque(self.hdfs.splits_for(file_name))
         shuffle = ShuffleService(self.n_reducers)
         attempts: list[MapTaskAttempt] = []
         task_id = 0

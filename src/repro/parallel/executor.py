@@ -50,6 +50,7 @@ from repro.model.sweep import (
     sweep_solo,
 )
 from repro.telemetry.profiling import SweepTelemetry
+from repro.telemetry.tracing import NULL_TRACER, SWEEP_PID
 from repro.workloads.base import AppInstance
 
 #: Environment variable selecting the worker count.
@@ -80,11 +81,17 @@ def worker_count(workers: int | None = None) -> int:
     return workers
 
 
-def _timed_call(fn: Callable[[Any], Any], item: Any) -> tuple[Any, str, float]:
-    """Run one task, reporting (result, worker id, wall seconds)."""
+def _timed_call(fn: Callable[[Any], Any], item: Any) -> tuple[Any, str, float, float]:
+    """Run one task, reporting (result, worker id, start, end).
+
+    Start/end are ``time.perf_counter()`` readings; on the platforms we
+    fan out on that clock is system-wide (CLOCK_MONOTONIC), so pool
+    workers' readings share the parent's epoch and per-worker trace
+    spans line up on one wall-clock timeline.
+    """
     t0 = time.perf_counter()
     result = fn(item)
-    return result, str(os.getpid()), time.perf_counter() - t0
+    return result, str(os.getpid()), t0, time.perf_counter()
 
 
 # ----------------------------------------------------- task functions
@@ -172,12 +179,20 @@ class SweepExecutor:
         *,
         freq_chunk: int | None = None,
         telemetry: SweepTelemetry | None = None,
+        tracer=None,
     ) -> None:
         self.workers = worker_count(workers)
         if freq_chunk is not None and freq_chunk < 1:
             raise ValueError(f"freq_chunk must be >= 1, got {freq_chunk}")
         self.freq_chunk = freq_chunk
         self.telemetry = telemetry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Wall-clock origin for trace spans (sweep time is real time,
+        # unlike the engine's simulated seconds).
+        self._wall0 = time.perf_counter()
+        self._batches = 0
+        if self.tracer.enabled:
+            self.tracer.name_process(SWEEP_PID, "sweep executor")
 
     # ------------------------------------------------------- plumbing
     def _record(self, worker: str, wall_s: float) -> None:
@@ -208,8 +223,9 @@ class SweepExecutor:
         if self.workers == 1 or len(items) == 1:
             out = []
             for item in items:
-                result, worker, wall = _timed_call(fn, item)
-                self._record(worker, wall)
+                result, worker, ts, te = _timed_call(fn, item)
+                self._record(worker, te - ts)
+                self._trace_task(fn, worker, ts, te)
                 out.append(result)
         else:
             # fork (where available) skips re-importing the package in
@@ -222,16 +238,45 @@ class SweepExecutor:
             chunksize = max(1, len(items) // (n_workers * 4))
             out = []
             with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
-                for result, worker, wall in pool.map(
+                for result, worker, ts, te in pool.map(
                     partial(_timed_call, fn), items, chunksize=chunksize
                 ):
-                    self._record(worker, wall)
+                    self._record(worker, te - ts)
+                    self._trace_task(fn, worker, ts, te)
                     out.append(result)
         if self.telemetry is not None:
             hits1, misses1 = self._cache_snapshot()
             self.telemetry.record_cache(hits1 - hits0, misses1 - misses0)
             self.telemetry.record_batch(time.perf_counter() - t0)
+        if self.tracer.enabled:
+            self._batches += 1
+            self.tracer.span(
+                f"batch {getattr(fn, '__name__', 'task')} x{len(items)}",
+                "sweep",
+                max(t0 - self._wall0, 0.0),
+                max(time.perf_counter() - self._wall0, 0.0),
+                pid=SWEEP_PID,
+                args={"tasks": len(items), "workers": self.workers},
+            )
         return out
+
+    def _trace_task(self, fn, worker: str, ts: float, te: float) -> None:
+        """One per-task span on the worker's thread row (wall clock)."""
+        if not self.tracer.enabled:
+            return
+        try:
+            tid = int(worker)
+        except ValueError:  # pragma: no cover - pid is always numeric
+            tid = 0
+        self.tracer.name_thread(SWEEP_PID, tid, f"worker {worker}")
+        self.tracer.span(
+            getattr(fn, "__name__", "task"),
+            "sweep",
+            max(ts - self._wall0, 0.0),
+            max(te - self._wall0, 0.0),
+            pid=SWEEP_PID,
+            tid=tid,
+        )
 
     def _freq_chunks(self, node: NodeSpec) -> list[tuple[float, ...]]:
         freqs = tuple(node.frequencies)

@@ -6,25 +6,49 @@ The paper instruments every run with three tools (§2.5): ``perf``
 all three against either a live :class:`~repro.mapreduce.engine.
 NodeEngine` trace or a closed-form profiling run, producing the
 14-feature vectors that drive classification and self-tuning.
+
+Exports resolve lazily (PEP 562): several submodules here import from
+``repro.mapreduce.engine`` while the engine itself imports
+``repro.telemetry.tracing``, so an eager package init would close an
+import cycle whenever ``repro.mapreduce`` loads first.
 """
 
-from repro.telemetry.metrics import edp, energy_joules, edp_improvement
-from repro.telemetry.perf import PerfSampler, PerfReport, PMU_EVENTS
-from repro.telemetry.dstat import DstatMonitor, DstatRow
-from repro.telemetry.wattsup import WattsupMeter, PowerTrace
-from repro.telemetry.profiling import FEATURE_NAMES, profile_features
+import importlib
 
-__all__ = [
-    "edp",
-    "energy_joules",
-    "edp_improvement",
-    "PerfSampler",
-    "PerfReport",
-    "PMU_EVENTS",
-    "DstatMonitor",
-    "DstatRow",
-    "WattsupMeter",
-    "PowerTrace",
-    "FEATURE_NAMES",
-    "profile_features",
-]
+_EXPORT_TO_SUBMODULE = {
+    "edp": "metrics",
+    "energy_joules": "metrics",
+    "edp_improvement": "metrics",
+    "PerfSampler": "perf",
+    "PerfReport": "perf",
+    "PMU_EVENTS": "perf",
+    "DstatMonitor": "dstat",
+    "DstatRow": "dstat",
+    "WattsupMeter": "wattsup",
+    "PowerTrace": "wattsup",
+    "FEATURE_NAMES": "profiling",
+    "profile_features": "profiling",
+    "MetricsRegistry": "registry",
+    "cluster_registry": "registry",
+    "Tracer": "tracing",
+    "NullTracer": "tracing",
+    "NULL_TRACER": "tracing",
+    "SWEEP_PID": "tracing",
+    "validate_chrome_trace": "tracing",
+}
+
+__all__ = list(_EXPORT_TO_SUBMODULE)
+
+
+def __getattr__(name):
+    try:
+        submodule = _EXPORT_TO_SUBMODULE[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(f"{__name__}.{submodule}"), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -210,6 +210,34 @@ class EngineTelemetry:
     def live_events(self) -> int:
         return self.events - self.stale_events
 
+    def as_dict(self) -> dict[str, float]:
+        """Counter snapshot for :class:`repro.telemetry.registry.
+        MetricsRegistry` (derived rates included when defined)."""
+        out = {
+            "events": self.events,
+            "stale_events": self.stale_events,
+            "live_events": self.live_events,
+            "recontext_hits": self.recontext_hits,
+            "recontext_misses": self.recontext_misses,
+            "recontext_rejects": self.recontext_rejects,
+            "kernel_evals": self.kernel_evals,
+            "faults_injected": self.faults_injected,
+            "task_failures": self.task_failures,
+            "node_crashes": self.node_crashes,
+            "node_recoveries": self.node_recoveries,
+            "stragglers": self.stragglers,
+            "tasks_retried": self.tasks_retried,
+            "speculative_launched": self.speculative_launched,
+            "speculative_wasted": self.speculative_wasted,
+            "blocks_rereplicated": self.blocks_rereplicated,
+            "blocks_lost": self.blocks_lost,
+            "nodes_blacklisted": self.nodes_blacklisted,
+        }
+        rate = self.recontext_hit_rate
+        if rate is not None:
+            out["recontext_hit_rate"] = rate
+        return out
+
     def merge(self, other: "EngineTelemetry") -> "EngineTelemetry":
         """Fold another telemetry object into this one (returns self)."""
         self.events += other.events
@@ -322,6 +350,26 @@ class SweepTelemetry:
         if self.batch_wall_s <= 0.0:
             return None
         return self.task_wall_s / self.batch_wall_s
+
+    def as_dict(self) -> dict[str, float]:
+        """Counter snapshot for :class:`repro.telemetry.registry.
+        MetricsRegistry` (per-worker detail collapses to totals)."""
+        out = {
+            "n_tasks": self.n_tasks,
+            "n_workers": len(self.worker_wall_s),
+            "n_batches": self.n_batches,
+            "batch_wall_s": self.batch_wall_s,
+            "task_wall_s": self.task_wall_s,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+        rate = self.cache_hit_rate
+        if rate is not None:
+            out["cache_hit_rate"] = rate
+        speedup = self.parallel_speedup
+        if speedup is not None:
+            out["parallel_speedup"] = speedup
+        return out
 
     def merge(self, other: "SweepTelemetry") -> "SweepTelemetry":
         """Fold another telemetry object into this one (returns self)."""

@@ -9,7 +9,6 @@ cluster operator builds from collected dstat/Wattsup logs.
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -143,9 +142,18 @@ def power_timeseries(
 ) -> tuple[np.ndarray, np.ndarray]:
     """(times, watts) resampled on a fixed grid (no meter noise).
 
-    The deterministic counterpart of
-    :meth:`repro.telemetry.wattsup.WattsupMeter.trace_from_intervals`,
-    useful for exact assertions and plotting.
+    Coverage-weighted: each bin ``[t, t + step_s)`` reports the
+    time-weighted mean power of the segments covering it, with
+    ``idle_power`` filling the uncovered remainder.  A segment that
+    merely touches a bin's start instant no longer claims the whole
+    bin — a half-covered bin reads halfway between segment power and
+    idle, exactly the resampling
+    :meth:`repro.telemetry.wattsup.WattsupMeter.trace_from_intervals`
+    performs (bit-identical to its pre-noise samples at
+    ``step_s=1.0``), so the deterministic and metered views of one run
+    agree.  Intervals from one node are time-ordered and
+    non-overlapping; one forward cursor sweeps segments and bins
+    together in O(bins + segments).
     """
     if step_s <= 0:
         raise ValueError("step_s must be positive")
@@ -154,14 +162,25 @@ def power_timeseries(
         end = max((seg.end for seg in intervals), default=step_s)
     n = max(int(np.ceil(end / step_s)), 1)
     times = np.arange(n) * step_s
-    watts = np.full(n, idle_power)
-    starts = [seg.start for seg in intervals]
-    # Intervals from one node are time-ordered and non-overlapping, so
-    # a binary search finds the covering segment per sample.
-    for i, t in enumerate(times):
-        j = bisect_right(starts, t) - 1
-        if 0 <= j < len(intervals) and intervals[j].start <= t < intervals[j].end:
-            watts[i] = intervals[j].power_watts
+    watts = np.full(n, float(idle_power))
+    cursor = 0
+    for i in range(n):
+        lo = float(times[i])
+        hi = lo + step_s
+        while cursor < len(intervals) and intervals[cursor].end <= lo:
+            cursor += 1
+        acc = 0.0
+        covered = 0.0
+        for k in range(cursor, len(intervals)):
+            seg = intervals[k]
+            if seg.start >= hi:
+                break
+            w = max(min(seg.end, hi) - max(seg.start, lo), 0.0)
+            if w > 0:
+                acc += seg.power_watts * w
+                covered += w
+        if covered > 0:
+            watts[i] = (acc + idle_power * (step_s - covered)) / step_s
     return times, watts
 
 

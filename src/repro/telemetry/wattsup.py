@@ -84,23 +84,52 @@ class WattsupMeter:
 
         Seconds not covered by any segment read the idle baseline —
         the node is powered whether or not a job runs.
+
+        A node's interval records arrive time-ordered and
+        non-overlapping, so one forward cursor sweeps intervals and
+        samples together in O(seconds + segments); rescanning every
+        segment for every sample is O(seconds × segments), which
+        dominates long steady-state traces.  The cursor visits exactly
+        the segments the full rescan would have accumulated, in the
+        same order, so the samples are byte-identical.  Unsorted input
+        (a hand-built trace) falls back to the rescan.
         """
         rng = rng_from(seed)
         idle = self.node.power.idle_power
+        intervals = list(intervals)
         end = until
         if end is None:
             end = max((i.end for i in intervals), default=1.0)
         n = max(int(np.ceil(end)), 1)
         samples = np.full(n, idle)
+        sorted_in = all(
+            intervals[k - 1].start <= intervals[k].start
+            for k in range(1, len(intervals))
+        )
+        cursor = 0 if sorted_in else None
         for t in range(n):
             lo, hi = float(t), float(t + 1)
             acc = 0.0
             covered = 0.0
-            for seg in intervals:
-                w = max(min(seg.end, hi) - max(seg.start, lo), 0.0)
-                if w > 0:
-                    acc += seg.power_watts * w
-                    covered += w
+            if cursor is None:
+                for seg in intervals:
+                    w = max(min(seg.end, hi) - max(seg.start, lo), 0.0)
+                    if w > 0:
+                        acc += seg.power_watts * w
+                        covered += w
+            else:
+                # Drop segments that ended at or before this second;
+                # they can never overlap a later sample either.
+                while cursor < len(intervals) and intervals[cursor].end <= lo:
+                    cursor += 1
+                for k in range(cursor, len(intervals)):
+                    seg = intervals[k]
+                    if seg.start >= hi:
+                        break
+                    w = max(min(seg.end, hi) - max(seg.start, lo), 0.0)
+                    if w > 0:
+                        acc += seg.power_watts * w
+                        covered += w
             samples[t] = acc + idle * (1.0 - covered)
         samples = np.maximum(samples + rng.normal(0.0, self.noise_watts, size=n), 0.0)
         return PowerTrace(samples_watts=samples, idle_watts=idle)

@@ -297,3 +297,55 @@ class TestFifoFirstFit:
         cluster.submit(small)
         results = {r.spec.job_id: r for r in cluster.run()}
         assert results[small.job_id].start_time >= results[big.job_id].start_time
+
+
+# -------------------------------------------------- windowed busy queries
+class TestWindowedBusyIndex:
+    """The bisect-bounded window index vs the legacy full scan."""
+
+    @staticmethod
+    def _full_scan(node, t0, t1):
+        """The pre-index reference: one pass over every segment."""
+        busy = 0.0
+        covered = 0.0
+        idx = node.recorder._index
+        for start, end, watts in zip(idx.starts, idx.ends, idx.watts):
+            lo, hi = max(start, t0), min(end, t1)
+            if hi > lo:
+                busy += watts * (hi - lo)
+                covered += hi - lo
+        return busy, covered
+
+    def test_windows_bit_identical_to_full_scan(self):
+        cluster = _stream_cluster(150)
+        h = cluster.makespan
+        windows = [
+            (0.0, h),            # head-anchored full horizon (prefix path)
+            (0.0, h * 0.4),      # head-anchored partial (prefix path)
+            (h * 0.2, h * 0.7),  # interior (bounded scan)
+            (h * 0.9, h * 2.0),  # tail past the horizon
+            (h * 0.33, h * 0.34),  # narrow interior
+        ]
+        for node in cluster.nodes:
+            for t0, t1 in windows:
+                got = node.recorder.busy_between(t0, t1)
+                want = self._full_scan(node, t0, t1)
+                assert got == want, (node.node_id, t0, t1)
+
+    def test_empty_and_disjoint_windows(self):
+        engine = NodeEngine()
+        engine.submit(_spec(m=4))
+        engine.run_to_completion()
+        end = engine.now
+        assert engine.recorder.busy_between(end + 10, end + 20) == (0.0, 0.0)
+        assert engine.recorder.busy_between(5.0, 5.0) == (0.0, 0.0)
+
+    def test_columnar_windows_match_full_recorder(self):
+        full = _stream_cluster(100, recorder="full")
+        col = _stream_cluster(100, recorder="columnar")
+        h = full.makespan
+        for t0, t1 in [(0.0, h * 0.5), (h * 0.25, h * 0.75)]:
+            for nf, nc in zip(full.nodes, col.nodes):
+                assert nc.recorder.busy_between(t0, t1) == nf.recorder.busy_between(
+                    t0, t1
+                )

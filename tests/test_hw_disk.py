@@ -90,3 +90,44 @@ def test_constructor_validation():
         DiskModel(peak_bw=0)
     with pytest.raises(ValueError):
         DiskModel(seek_penalty=1.5)
+
+
+def test_share_cursor_matches_pop_reference(disk):
+    """The index-cursor water-filling equals the legacy pop(0) loop.
+
+    The cursor rewrite must perform the same arithmetic in the same
+    order, so allocations are bit-identical, not just close.
+    """
+
+    def share_pop0(demands, extent):
+        d = np.asarray(demands, dtype=float)
+        active = d > 0
+        k = int(active.sum())
+        if k == 0:
+            return np.zeros_like(d)
+        capacity = float(disk.aggregate_bw(k, extent))
+        alloc = np.zeros_like(d)
+        remaining = capacity
+        todo = list(np.flatnonzero(active))
+        todo.sort(key=lambda i: d[i])
+        while todo:
+            fair = remaining / len(todo)
+            i = todo.pop(0)
+            if d[i] <= fair:
+                alloc[i] = d[i]
+                remaining -= d[i]
+            else:
+                alloc[i] = fair
+                for j in todo:
+                    alloc[j] = fair
+                break
+        return alloc
+
+    rng = np.random.default_rng(42)
+    for _ in range(50):
+        n = int(rng.integers(1, 12))
+        d = rng.uniform(0.0, 400 * MB, size=n)
+        d[rng.random(n) < 0.25] = 0.0
+        got = disk.share(d, 256 * MB)
+        want = share_pop0(d, 256 * MB)
+        assert np.array_equal(got, want)

@@ -105,3 +105,32 @@ def test_validation(hdfs):
         LocalityScheduler(hdfs, n_workers=0)
     with pytest.raises(ValueError):
         synthetic_record_reader(get_app("wc"), records_per_block=0)
+
+
+def test_deque_and_list_assignment_orders_identical(hdfs):
+    """The O(1)-head deque path must reproduce the list path exactly.
+
+    Replays the same worker round-robin against a deque- and a
+    list-backed pending queue; every (block, locality) decision —
+    including delay-scheduling waits — must match, so a runner built on
+    either container sees the byte-identical assignment sequence.
+    """
+    from collections import deque
+
+    blocks = hdfs.splits_for("input")
+    seq = {}
+    for backend in (list, deque):
+        sched = LocalityScheduler(hdfs=hdfs, n_workers=4, max_skips=1)
+        pending = backend(blocks)
+        log = []
+        worker = 0
+        while pending:
+            got = sched.assign(pending, worker=worker)
+            if got is None:
+                log.append((worker, None, None))
+            else:
+                block, local = got
+                log.append((worker, block.block_id, local))
+            worker = (worker + 1) % 4
+        seq[backend.__name__] = log
+    assert seq["deque"] == seq["list"]

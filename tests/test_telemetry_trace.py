@@ -121,3 +121,92 @@ class TestConcurrencyHistogram:
         assert set(hist) == {1, 2}
         makespan = max(r.finish_time for r in results)
         assert sum(hist.values()) == pytest.approx(makespan)
+
+
+def _seg(start, end, watts, node_id=0):
+    from repro.mapreduce.engine import IntervalRecord
+
+    return IntervalRecord(
+        node_id=node_id,
+        start=start,
+        end=end,
+        power_watts=watts,
+        stretch=1.0,
+        job_ids=(1,),
+        u_cpu_per_job=(0.5,),
+        u_disk=0.2,
+        u_net=0.1,
+        u_mem=0.3,
+        frequency_per_job=(2.4e9,),
+        mappers_per_job=(4,),
+    )
+
+
+class TestPowerTimeseriesCoverage:
+    def test_bit_identical_to_wattsup(self, pair_trace):
+        from repro.telemetry.wattsup import WattsupMeter
+
+        engine, _ = pair_trace
+        idle = engine.node.power.idle_power
+        _times, watts = power_timeseries(engine.intervals, idle_power=idle)
+        trace = WattsupMeter(noise_watts=0.0).trace_from_intervals(
+            engine.intervals
+        )
+        n = min(len(watts), len(trace.samples_watts))
+        assert np.array_equal(watts[:n], trace.samples_watts[:n])
+
+    def test_partial_coverage_weighted(self):
+        # A segment covering half the bin no longer claims the whole
+        # bin: the sample is the coverage-weighted mean with idle.
+        _t, watts = power_timeseries(
+            [_seg(0.0, 0.5, 40.0)], horizon=2.0, idle_power=10.0
+        )
+        assert watts.tolist() == [(40.0 * 0.5 + 10.0 * 0.5), 10.0]
+
+    def test_gap_between_segments_reads_idle(self):
+        _t, watts = power_timeseries(
+            [_seg(0.0, 1.0, 40.0), _seg(2.0, 3.0, 60.0)],
+            horizon=3.0,
+            idle_power=5.0,
+        )
+        assert watts.tolist() == [40.0, 5.0, 60.0]
+
+    def test_segment_straddling_horizon(self):
+        # The horizon truncates the grid, not the segment: bins inside
+        # the horizon read full segment power, and nothing is emitted
+        # past it.
+        _t, watts = power_timeseries(
+            [_seg(0.0, 2.5, 40.0)], horizon=2.0, idle_power=10.0
+        )
+        assert watts.tolist() == [40.0, 40.0]
+        _t, watts = power_timeseries(
+            [_seg(0.0, 2.5, 40.0)], horizon=3.0, idle_power=10.0
+        )
+        assert watts.tolist() == [40.0, 40.0, 40.0 * 0.5 + 10.0 * 0.5]
+
+
+class TestNodeUtilizationHorizonEdges:
+    def test_segment_straddling_horizon_is_clipped(self):
+        u = node_utilization([_seg(0.0, 4.0, 40.0)], horizon=2.0)
+        assert u.busy_time == pytest.approx(2.0)
+        assert u.duty_cycle == pytest.approx(1.0)
+        assert u.avg_power_watts == pytest.approx(40.0)
+
+    def test_gap_counts_as_idle(self):
+        u = node_utilization(
+            [_seg(0.0, 1.0, 40.0), _seg(3.0, 4.0, 40.0)],
+            horizon=4.0,
+            idle_power=10.0,
+        )
+        assert u.busy_time == pytest.approx(2.0)
+        assert u.duty_cycle == pytest.approx(0.5)
+        assert u.avg_power_watts == pytest.approx((40.0 * 2 + 10.0 * 2) / 4.0)
+
+    def test_segment_entirely_past_horizon_ignored(self):
+        u = node_utilization(
+            [_seg(0.0, 1.0, 40.0), _seg(5.0, 6.0, 40.0)],
+            horizon=2.0,
+            idle_power=10.0,
+        )
+        assert u.busy_time == pytest.approx(1.0)
+        assert u.avg_power_watts == pytest.approx((40.0 + 10.0) / 2.0)

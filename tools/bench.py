@@ -270,6 +270,24 @@ def compare(results: dict, baseline_path: Path) -> int:
     return 0
 
 
+def reference_metrics() -> dict[str, float]:
+    """Flat MetricsRegistry snapshot of one small seeded steady run.
+
+    Embedded in the benchmark payload so engine-counter drift (cache
+    hit rates, event mix) is visible next to the timing numbers when
+    two BENCH files are diffed.
+    """
+    from repro.mapreduce.engine import ClusterEngine
+    from repro.telemetry.registry import MetricsRegistry, cluster_registry
+    from repro.workloads.streams import poisson_job_stream
+
+    cluster = ClusterEngine(n_nodes=8, recorder="off")
+    for s in poisson_job_stream(200, tuned=True, job_ids_from=1):
+        cluster.submit(s)
+    cluster.run()
+    return MetricsRegistry.flatten(cluster_registry(cluster).snapshot())
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -324,6 +342,7 @@ def main(argv: list[str] | None = None) -> int:
         "rounds": rounds,
         "quick": bool(args.quick),
         "ops": results,
+        "metrics": reference_metrics(),
     }
     if args.note:
         payload["note"] = args.note
