@@ -14,6 +14,12 @@ Commands
 ``trace steady|faulty|ecost``
     Replay a seeded run with tracing enabled; writes a
     Perfetto-loadable Chrome trace plus flat metrics JSON.
+``conform [--self-verify]``
+    Run the conformance battery: analytic-oracle matrix, metamorphic
+    relations, and (optionally) mutant self-verification.
+``fuzz --budget N --seed S``
+    Random scenario walk with shrinking; prints a paste-ready pytest
+    repro on failure.
 ``clear-cache``
     Drop the disk-cached artifacts (forces full rebuilds).
 """
@@ -115,6 +121,26 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_conform(args) -> int:
+    from repro.conformance import run_conformance
+
+    report = run_conformance(
+        with_self_verify=args.self_verify,
+        self_verify_budget=args.budget,
+        seed=args.seed,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.conformance import fuzz
+
+    report = fuzz(budget=args.budget, seed=args.seed)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def _cmd_clear_cache(_args) -> int:
     from repro.experiments.artifacts import clear_cache
 
@@ -164,6 +190,27 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--metrics-out",
                          help="flat metrics path (default metrics_<exp>.json)")
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_conf = sub.add_parser(
+        "conform", help="run the engine conformance battery"
+    )
+    p_conf.add_argument(
+        "--self-verify", action="store_true",
+        help="also fuzz three deliberately broken engine variants "
+             "and require each to be caught and shrunk",
+    )
+    p_conf.add_argument("--budget", type=int, default=60,
+                        help="fuzz budget per mutant in self-verify mode")
+    p_conf.add_argument("--seed", type=int, default=7)
+    p_conf.set_defaults(fn=_cmd_conform)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="seeded scenario fuzz with automatic shrinking"
+    )
+    p_fuzz.add_argument("--budget", type=int, default=200,
+                        help="number of random scenarios to execute")
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.set_defaults(fn=_cmd_fuzz)
 
     sub.add_parser("clear-cache", help="drop cached artifacts").set_defaults(
         fn=_cmd_clear_cache

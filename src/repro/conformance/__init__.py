@@ -1,0 +1,91 @@
+"""Conformance subsystem: oracles, metamorphic relations, fuzzing.
+
+Every prior safety net in this repository pins the engine against
+*itself* — golden byte-identity files pin yesterday's output, and the
+property suite asserts conservation laws the engine maintains by
+construction.  This package adds the missing third leg: checks against
+*independently computed truth*.
+
+Three layers, composable and individually importable:
+
+:mod:`repro.conformance.oracles`
+    Closed-form makespan/energy/EDP for degenerate-but-exactly-solvable
+    scenario classes (single job, symmetric co-location, two-job fluid
+    share, sequential chains), derived from the hardware spec and
+    application profiles with arithmetic written independently of both
+    the discrete-event engine and the shared cost kernel.  Engine and
+    oracle must agree within one part in 10⁹.
+
+:mod:`repro.conformance.relations`
+    A registry of named metamorphic invariants the engine must satisfy
+    under input transformations — double the clock and the pipeline
+    compute time halves, add an idle node and the makespan cannot grow,
+    permute job ids and aggregate energy is unchanged, and so on.
+
+:mod:`repro.conformance.fuzzer`
+    A seeded random walk over scenario space executing the oracle and
+    relation checks, with greedy shrinking to a minimal failing
+    scenario and paste-ready pytest emission.  The harness self-verifies
+    against the deliberately broken engines of
+    :mod:`repro.conformance.mutants`.
+
+``python -m repro conform`` runs the full matrix; ``python -m repro
+fuzz`` runs the fuzzer.  See ``docs/TESTING.md`` for where this sits in
+the four-layer verification stack.
+"""
+
+from repro.conformance.fuzzer import (
+    Failure,
+    FuzzReport,
+    fuzz,
+    generate_scenario,
+    run_checks,
+    shrink,
+)
+from repro.conformance.mutants import MUTANTS
+from repro.conformance.oracles import (
+    OracleExpectation,
+    check_oracle,
+    oracle_expectation,
+)
+from repro.conformance.relations import (
+    RELATIONS,
+    RelationResult,
+    check_relations,
+    get_relation,
+)
+from repro.conformance.runner import ConformanceReport, run_conformance, self_verify
+from repro.conformance.scenarios import (
+    Scenario,
+    ScenarioJob,
+    ScenarioRun,
+    oracle_matrix,
+    registry_scenarios,
+    run_scenario,
+)
+
+__all__ = [
+    "Failure",
+    "FuzzReport",
+    "MUTANTS",
+    "OracleExpectation",
+    "RELATIONS",
+    "RelationResult",
+    "ConformanceReport",
+    "Scenario",
+    "ScenarioJob",
+    "ScenarioRun",
+    "check_oracle",
+    "check_relations",
+    "fuzz",
+    "generate_scenario",
+    "get_relation",
+    "oracle_expectation",
+    "oracle_matrix",
+    "registry_scenarios",
+    "run_checks",
+    "run_conformance",
+    "run_scenario",
+    "self_verify",
+    "shrink",
+]

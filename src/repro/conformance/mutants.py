@@ -1,0 +1,118 @@
+"""Deliberately broken engine variants for harness self-verification.
+
+A conformance suite that has never caught a bug proves nothing — maybe
+the engine is right, maybe the checks are vacuous.  Each mutant here
+installs one *plausible* engine defect (the kind a real refactor could
+introduce) behind a context manager; the self-verify lane asserts that
+the fuzzer detects every one of them and shrinks the failure to a
+minimal scenario.  If a future edit to the oracles or relations stops
+catching a mutant, CI fails — the checks themselves are under test.
+
+The three defects mirror the risk profile of past hot-path rewrites:
+
+``off-by-one-waves``
+    The scalar cost kernel schedules one map wave too many (a classic
+    ``ceil`` boundary slip), adding one wave of task overhead to every
+    job.  Caught by the analytic makespan oracle on a single job.
+``dropped-idle-energy``
+    Node energy accounting forgets idle draw — only busy segments are
+    metered.  Invisible on a fully-packed single-node run (there is no
+    idle time to drop), caught the moment any idle second exists.
+``stale-cache-reuse``
+    The recontext cache returns the most recently stored value of the
+    right shape regardless of key — the bug its key-echo mechanism
+    exists to catch.  A cold single-job run never hits the cache, so
+    the minimal repro needs two jobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from contextlib import contextmanager
+from typing import Callable, ContextManager, Iterator, Mapping
+
+from repro.mapreduce import engine as engine_mod
+from repro.model.calibration import DEFAULT_CONSTANTS
+from repro.model.costmodel import standalone_metrics_scalar as _real_kernel
+
+
+@contextmanager
+def off_by_one_waves() -> Iterator[None]:
+    """Engine whose cost kernel runs one extra map wave per job."""
+
+    def mutated(profile, data_bytes, frequency, block_size, n_mappers, **kw):
+        m = _real_kernel(
+            profile, data_bytes, frequency, block_size, n_mappers, **kw
+        )
+        constants = kw.get("constants", DEFAULT_CONSTANTS)
+        extra = constants.task_overhead_s
+        duration = m.duration + extra
+        return dataclasses.replace(
+            m,
+            waves=m.waves + 1.0,
+            t_overhead=m.t_overhead + extra,
+            duration=duration,
+            energy=m.power * duration,
+            edp=m.power * duration * duration,
+        )
+
+    original = engine_mod.standalone_metrics_scalar
+    engine_mod.standalone_metrics_scalar = mutated
+    try:
+        yield
+    finally:
+        engine_mod.standalone_metrics_scalar = original
+
+
+@contextmanager
+def dropped_idle_energy() -> Iterator[None]:
+    """Engine whose node energy meter omits idle power entirely."""
+
+    def mutated(self, t0: float, t1: float) -> float:
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        if t0 <= self._first_busy_start and t1 >= self._last_busy_end:
+            busy, _covered = self._busy_energy, self._busy_time
+        else:
+            busy, _covered = self._recorder.busy_between(t0, t1)
+        return busy
+
+    original = engine_mod.NodeEngine.energy_between
+    engine_mod.NodeEngine.energy_between = mutated
+    try:
+        yield
+    finally:
+        engine_mod.NodeEngine.energy_between = original
+
+
+@contextmanager
+def stale_cache_reuse() -> Iterator[None]:
+    """Recontext cache that ignores the lookup key.
+
+    Returns the most recently touched entry whose key has the same
+    kind and arity (so the value has a plausible type) — the silent
+    wrong-hit failure mode the cache's key echo is designed to refuse.
+    """
+
+    def mutated(self, key):
+        for stored in reversed(self._data):
+            if stored[0] == key[0] and len(stored) == len(key):
+                return self._data[stored][1]
+        return None
+
+    original = engine_mod.RecontextCache.get
+    engine_mod.RecontextCache.get = mutated
+    try:
+        yield
+    finally:
+        engine_mod.RecontextCache.get = original
+
+
+#: Registry: mutant name -> context-manager factory.  The self-verify
+#: lane iterates this mapping; adding a mutant here automatically adds
+#: it to ``python -m repro conform --self-verify`` and to CI.
+MUTANTS: Mapping[str, Callable[[], ContextManager[None]]] = {
+    "off-by-one-waves": off_by_one_waves,
+    "dropped-idle-energy": dropped_idle_energy,
+    "stale-cache-reuse": stale_cache_reuse,
+}

@@ -1,0 +1,494 @@
+"""Analytic oracles: closed-form truth for degenerate scenarios.
+
+The discrete-event engine is trusted because (a) golden files pin its
+bytes and (b) property tests pin its conservation laws — but both
+compare the engine against itself.  This module computes makespan,
+energy and EDP for exactly-solvable scenario classes *from the model
+specification alone* (hardware spec + application profile + the
+documented job model of ``docs/DESIGN.md``), sharing no code with
+:mod:`repro.mapreduce.engine` or the kernels in
+:mod:`repro.model.costmodel`.  A conforming engine must agree with
+these numbers to within one part in 10⁹ (:data:`REL_TOL`).
+
+Solvable classes (dispatch in :func:`oracle_expectation`):
+
+``single``
+    One job; map waves are ``ceil(splits / slots)``, the three resource
+    times compose through the profile's I/O overlap, and energy is the
+    power integral over the one constant-power phase.
+``chain``
+    Jobs that run back to back (either because arrivals are spaced past
+    the predecessor's completion, or because a two-job scenario on one
+    node cannot co-fit and FIFO queues the second): a sum of single-job
+    phases plus idle gaps.
+``pair``
+    Two jobs started together on one node: piecewise-linear fluid-rate
+    integration — an overlap segment at the co-location stretch, then a
+    context re-evaluation carrying the survivor's remaining *work
+    fraction* into a solo tail segment.
+``parallel``
+    Two simultaneous jobs that cannot co-fit but have a node each.
+``symmetric``
+    ``k`` identical simultaneous jobs on one node: one shared phase in
+    which all jobs finish together.
+
+All scenarios must be fault-free (a fault plan brings in recovery
+semantics the closed forms do not model).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.conformance.scenarios import Scenario, ScenarioJob, run_scenario
+from repro.hardware.node import ATOM_C2758, NodeSpec
+from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
+from repro.workloads.base import AppProfile
+from repro.workloads.registry import get_app
+
+#: Engine-vs-oracle agreement bound: one part in 10⁹.  The oracle's
+#: arithmetic is written independently (different evaluation order,
+#: libm ``pow`` instead of ``np.power``), so agreement is only up to
+#: accumulated ulps — orders of magnitude below this bound — while any
+#: *semantic* divergence lands far above it.
+REL_TOL = 1e-9
+
+#: Minimum arrival gap (seconds) past the predecessor's completion for
+#: the chain solver to consider two jobs non-overlapping.
+_CHAIN_MARGIN_S = 1e-6
+
+_CACHE_LINE_BYTES = 64.0
+
+
+@dataclass(frozen=True)
+class _OracleJob:
+    """The per-job quantities the node-level fluid model consumes."""
+
+    duration: float  # standalone seconds under the evaluated context
+    u_disk: float
+    u_net: float
+    mem_demand: float  # DRAM bytes/s demanded
+    core_power: float  # watts above idle from this job's cores
+
+
+@dataclass(frozen=True)
+class OracleExpectation:
+    """Closed-form truth for one scenario."""
+
+    case: str
+    makespan: float
+    total_energy: float
+    edp: float
+    #: Seconds node 0 spends with >= 1 job running.
+    busy_seconds: float
+    #: Per-job whole-run energy, keyed by scenario job index.
+    job_energies: dict[int, float]
+
+
+def _profile_of(job: ScenarioJob) -> AppProfile:
+    return get_app(job.code).profile
+
+
+def _oracle_job(
+    profile: AppProfile,
+    data_bytes: float,
+    frequency: float,
+    block_size: float,
+    n_mappers: float,
+    *,
+    mpki_scale: float,
+    disk_traffic_scale: float,
+    extra_streams: float,
+    node: NodeSpec,
+    constants: SimConstants,
+) -> _OracleJob:
+    """One job's fluid quantities, from the model spec (not the kernel).
+
+    Mirrors the documented job model: CPU seconds from the additive
+    in-order SPI with last-wave imbalance, disk seconds from staged
+    traffic over the extent/stream-degraded bandwidth, network seconds
+    from the remote shuffle share, per-wave scheduling overhead, all
+    composed through the profile's I/O overlap, with one memory-wall
+    fixed-point pass.
+    """
+    D = float(data_bytes)
+    n_tasks = math.ceil(D / float(block_size))
+    m_eff = n_tasks if n_tasks < n_mappers else float(n_mappers)
+    waves = math.ceil(n_tasks / m_eff)
+    imbalance = (waves / n_tasks) * m_eff
+
+    # CPU: pipeline term scales with the clock, the memory-stall term
+    # does not (the memory wall).
+    stall_s_per_miss = node.core.mem_latency_s * (1.0 - node.core.mlp_overlap)
+    mpki = profile.llc_mpki0 * mpki_scale
+    miss_stall = (mpki / 1000.0) * stall_s_per_miss
+    spi = (1.0 / profile.ipc0) / frequency + miss_stall
+    instructions = D * (
+        profile.instructions_per_byte
+        + profile.shuffle_factor * profile.reduce_instr_per_byte
+    )
+    t_cpu = (instructions / m_eff) * imbalance * spi
+
+    # Disk: staged traffic over degraded aggregate bandwidth.
+    staged = (
+        profile.read_factor
+        + profile.spill_factor
+        + profile.shuffle_factor * (1.0 + constants.shuffle_reread_fraction)
+        + profile.output_factor
+    )
+    disk_bytes = D * staged * disk_traffic_scale
+    streams = m_eff + extra_streams
+    extent_eff = block_size / (block_size + node.disk.half_extent)
+    interleave = 1.0 + node.disk.seek_penalty * (streams - 1.0 if streams > 1.0 else 0.0)
+    agg_bw = node.disk.peak_bw * extent_eff / interleave
+    t_disk = disk_bytes / agg_bw
+
+    t_net = D * profile.shuffle_factor * constants.remote_shuffle_fraction / node.nic_bw
+    t_overhead = waves * constants.task_overhead_s
+
+    overlap = profile.io_overlap
+
+    def total(cpu: float) -> float:
+        bound = max(cpu, t_disk, t_net)
+        return t_overhead + overlap * bound + (1.0 - overlap) * (cpu + t_disk + t_net)
+
+    membw = node.membw.achievable_bw
+    dram_bytes = instructions * (mpki / 1000.0) * _CACHE_LINE_BYTES * profile.mem_stream_factor
+    first_pass = total(t_cpu)
+    oversub = (dram_bytes / first_pass) / membw
+    if oversub > 1.0:
+        t_cpu = t_cpu * oversub
+    duration = total(t_cpu)
+
+    u_cpu = t_cpu / duration
+    mem_demand = dram_bytes / duration
+    u_mem = min(mem_demand / membw, 1.0)
+    u_disk = t_disk / duration
+
+    stall_fraction = miss_stall / spi
+    pm = node.power
+    activity = u_cpu * (1.0 - stall_fraction * (1.0 - pm.stall_power_fraction))
+    dyn = node.dvfs.point_for(frequency).dynamic_scale(node.dvfs.max_point)
+    core_power = pm.core_max_power * dyn * activity * m_eff
+    del u_mem  # whole-node memory power is a node-level quantity
+
+    return _OracleJob(
+        duration=duration,
+        u_disk=u_disk,
+        u_net=t_net / duration,
+        mem_demand=mem_demand,
+        core_power=core_power,
+    )
+
+
+def _oracle_context(
+    jobs: list[ScenarioJob], node: NodeSpec, constants: SimConstants
+) -> list[tuple[float, float, float]]:
+    """Per-job (mpki_scale, disk_traffic_scale, extra_streams) couplings.
+
+    Module-aware LLC partitioning (pressure-proportional power-law miss
+    inflation on the shared module fraction), footprint overcommit into
+    shared extra disk traffic, and co-runner stream interleaving.
+    """
+    k = len(jobs)
+    mappers = [float(j.n_mappers) for j in jobs]
+    profiles = [_profile_of(j) for j in jobs]
+
+    total_mappers = math.fsum(mappers) if k >= 8 else sum(mappers)
+    footprint = sum(m * p.footprint_per_task for m, p in zip(mappers, profiles))
+    overcommit = footprint / node.available_memory_bytes - 1.0
+    disk_scale = 1.0 + constants.swap_penalty * (overcommit if overcommit > 0.0 else 0.0)
+
+    if k == 1:
+        return [(1.0, disk_scale, 0.0)]
+
+    modules = [math.ceil(m / 2.0) for m in mappers]
+    shared_modules = sum(modules) - node.n_cores / 2.0
+    if shared_modules < 0.0:
+        shared_modules = 0.0
+
+    pressures = [p.cache_pressure * m for p, m in zip(profiles, mappers)]
+    pressure_total = sum(pressures)
+    floor = constants.cache_share_floor
+    out = []
+    for i in range(k):
+        share = pressures[i] / pressure_total
+        share = min(max(share, floor), 1.0 - floor)
+        inflation = min(share, 1.0) ** (-profiles[i].cache_alpha)
+        inflation = min(max(inflation, 1.0), node.cache.max_inflation)
+        shared_frac = min(shared_modules / modules[i], 1.0)
+        mpki_scale = 1.0 + shared_frac * (inflation - 1.0)
+        out.append((mpki_scale, disk_scale, total_mappers - mappers[i]))
+    return out
+
+
+def _evaluate(
+    jobs: list[ScenarioJob], node: NodeSpec, constants: SimConstants
+) -> list[_OracleJob]:
+    """Evaluate a co-resident set: context couplings, then each job."""
+    ctx = _oracle_context(jobs, node, constants)
+    return [
+        _oracle_job(
+            _profile_of(j),
+            j.data_bytes,
+            j.frequency,
+            j.block_size,
+            j.n_mappers,
+            mpki_scale=mpki,
+            disk_traffic_scale=disk,
+            extra_streams=extra,
+            node=node,
+            constants=constants,
+        )
+        for j, (mpki, disk, extra) in zip(jobs, ctx)
+    ]
+
+
+def _node_state(jobs: list[_OracleJob], node: NodeSpec) -> tuple[float, float]:
+    """(fluid stretch, node watts) of a constant co-residency segment."""
+    membw = node.membw.achievable_bw
+    disk_demand = sum(j.u_disk for j in jobs)
+    net_demand = sum(j.u_net for j in jobs)
+    mem_demand = sum(j.mem_demand for j in jobs)
+    stretch = max(1.0, disk_demand, net_demand, mem_demand / membw)
+    pm = node.power
+    watts = (
+        pm.idle_power
+        + sum(j.core_power for j in jobs) / stretch
+        + pm.mem_max_power * min(mem_demand / stretch / membw, 1.0)
+        + pm.disk_max_power * min(disk_demand / stretch, 1.0)
+    )
+    return stretch, watts
+
+
+# ------------------------------------------------------------- solvers
+def _expectation_from_segments(
+    scenario: Scenario,
+    segments_per_node: dict[int, list[tuple[float, float, float]]],
+    job_energies: dict[int, float],
+    case: str,
+    node: NodeSpec,
+) -> OracleExpectation:
+    """Fold per-node ``(start, end, watts)`` segments into totals.
+
+    Idle draw fills every second of ``[0, makespan]`` not covered by a
+    busy segment, on every node — the wall-meter accounting the engine
+    implements with prefix sums.
+    """
+    makespan = max(
+        end for segs in segments_per_node.values() for (_s, end, _w) in segs
+    )
+    busy_energy = 0.0
+    busy_time_all = 0.0
+    for segs in segments_per_node.values():
+        for start, end, watts in segs:
+            busy_energy += watts * (end - start)
+            busy_time_all += end - start
+    idle_power = node.power.idle_power
+    total_energy = busy_energy + idle_power * (scenario.n_nodes * makespan - busy_time_all)
+    node0 = segments_per_node.get(0, [])
+    return OracleExpectation(
+        case=case,
+        makespan=makespan,
+        total_energy=total_energy,
+        edp=total_energy * makespan,
+        busy_seconds=sum(end - start for (start, end, _w) in node0),
+        job_energies=job_energies,
+    )
+
+
+def _solve_chain(
+    scenario: Scenario, order: list[int], node: NodeSpec, constants: SimConstants
+) -> OracleExpectation | None:
+    """Back-to-back jobs on node 0; None if any pair overlaps in time."""
+    segments: list[tuple[float, float, float]] = []
+    job_energies: dict[int, float] = {}
+    clock = 0.0
+    for idx in order:
+        job = scenario.jobs[idx]
+        if segments and job.submit_time < clock + _CHAIN_MARGIN_S:
+            return None
+        start = max(job.submit_time, clock)
+        [metrics] = _evaluate([job], node, constants)
+        stretch, watts = _node_state([metrics], node)
+        wall = metrics.duration * stretch
+        segments.append((start, start + wall, watts))
+        job_energies[idx] = watts * wall
+        clock = start + wall
+    return _expectation_from_segments(
+        scenario, {0: segments}, job_energies, "chain" if len(order) > 1 else "single",
+        node,
+    )
+
+
+def _solve_queued_chain(
+    scenario: Scenario, node: NodeSpec, constants: SimConstants
+) -> OracleExpectation:
+    """Two simultaneous jobs on one node that cannot co-fit: FIFO queues
+    the second behind the first, so it starts exactly at the first's
+    completion (no idle gap between them)."""
+    a, b = scenario.jobs
+    t0 = a.submit_time
+    [ma] = _evaluate([a], node, constants)
+    sa, wa = _node_state([ma], node)
+    [mb] = _evaluate([b], node, constants)
+    sb, wb = _node_state([mb], node)
+    finish_a = t0 + ma.duration * sa
+    finish_b = finish_a + mb.duration * sb
+    segments = [(t0, finish_a, wa), (finish_a, finish_b, wb)]
+    energies = {0: wa * (finish_a - t0), 1: wb * (finish_b - finish_a)}
+    return _expectation_from_segments(scenario, {0: segments}, energies, "queued-chain", node)
+
+
+def _solve_parallel(
+    scenario: Scenario, node: NodeSpec, constants: SimConstants
+) -> OracleExpectation:
+    """Two simultaneous jobs that cannot co-fit, one node each."""
+    t0 = scenario.jobs[0].submit_time
+    segments_per_node: dict[int, list[tuple[float, float, float]]] = {}
+    energies: dict[int, float] = {}
+    for idx, job in enumerate(scenario.jobs):
+        [m] = _evaluate([job], node, constants)
+        s, w = _node_state([m], node)
+        wall = m.duration * s
+        segments_per_node[idx] = [(t0, t0 + wall, w)]
+        energies[idx] = w * wall
+    return _expectation_from_segments(scenario, segments_per_node, energies, "parallel", node)
+
+
+def _solve_pair(
+    scenario: Scenario, node: NodeSpec, constants: SimConstants
+) -> OracleExpectation:
+    """Two simultaneous co-fitting jobs: overlap segment at the pair
+    stretch, then the survivor's remaining work *fraction* re-based onto
+    its solo standalone duration (the engine's recontext rule) for the
+    tail segment."""
+    a, b = scenario.jobs
+    t0 = a.submit_time
+    pair = _evaluate([a, b], node, constants)
+    s_pair, w_pair = _node_state(pair, node)
+    d = [pair[0].duration, pair[1].duration]
+
+    short, long_ = (0, 1) if d[0] <= d[1] else (1, 0)
+    t_overlap = d[short] * s_pair
+    first_done = t0 + t_overlap
+    energies = {
+        short: w_pair * t_overlap / 2.0,
+        long_: w_pair * t_overlap / 2.0,
+    }
+    segments = [(t0, first_done, w_pair)]
+    if d[long_] > d[short]:
+        fraction_left = (d[long_] - d[short]) / d[long_]
+        [solo] = _evaluate([scenario.jobs[long_]], node, constants)
+        s_solo, w_solo = _node_state([solo], node)
+        t_tail = fraction_left * solo.duration * s_solo
+        segments.append((first_done, first_done + t_tail, w_solo))
+        energies[long_] += w_solo * t_tail
+    return _expectation_from_segments(scenario, {0: segments}, energies, "pair", node)
+
+
+def _solve_symmetric(
+    scenario: Scenario, node: NodeSpec, constants: SimConstants
+) -> OracleExpectation:
+    """k identical simultaneous jobs: one phase, all finish together."""
+    t0 = scenario.jobs[0].submit_time
+    metrics = _evaluate(list(scenario.jobs), node, constants)
+    stretch, watts = _node_state(metrics, node)
+    wall = metrics[0].duration * stretch
+    k = len(scenario.jobs)
+    energies = {i: watts * wall / k for i in range(k)}
+    return _expectation_from_segments(
+        scenario, {0: [(t0, t0 + wall, watts)]}, energies, "symmetric", node
+    )
+
+
+# ------------------------------------------------------------ dispatch
+def oracle_expectation(
+    scenario: Scenario,
+    *,
+    node: NodeSpec = ATOM_C2758,
+    constants: SimConstants = DEFAULT_CONSTANTS,
+) -> OracleExpectation | None:
+    """Closed-form truth for ``scenario``, or None when it is not in an
+    exactly-solvable class (the caller should then skip the oracle
+    check, not treat it as a pass)."""
+    if scenario.fault_events:
+        return None
+    jobs = scenario.jobs
+    if len(jobs) == 1:
+        return _solve_chain(scenario, [0], node, constants)
+
+    submits = {j.submit_time for j in jobs}
+    if len(submits) == 1:
+        total_mappers = sum(j.n_mappers for j in jobs)
+        if len(jobs) == 2:
+            if total_mappers <= node.n_cores:
+                return _solve_pair(scenario, node, constants)
+            if scenario.n_nodes == 1:
+                return _solve_queued_chain(scenario, node, constants)
+            return _solve_parallel(scenario, node, constants)
+        if total_mappers <= node.n_cores and len({j.identity() for j in jobs}) == 1:
+            return _solve_symmetric(scenario, node, constants)
+        return None
+
+    order = sorted(range(len(jobs)), key=lambda i: (jobs[i].submit_time, i))
+    return _solve_chain(scenario, order, node, constants)
+
+
+def _rel_err(expected: float, actual: float) -> float:
+    scale = max(abs(expected), abs(actual), 1e-12)
+    return abs(expected - actual) / scale
+
+
+def check_oracle(
+    scenario: Scenario,
+    *,
+    rel_tol: float = REL_TOL,
+    node: NodeSpec = ATOM_C2758,
+    constants: SimConstants = DEFAULT_CONSTANTS,
+) -> list[str]:
+    """Run the engine and compare against the oracle.
+
+    Returns a (possibly empty) list of human-readable failure messages,
+    one per disagreeing quantity — empty also when the scenario is not
+    oracle-solvable.  Covers the cluster aggregates (makespan, energy,
+    EDP), node 0's busy-time accounting (via the engine's conformance
+    snapshot hook) and every per-job energy attribution.
+    """
+    expected = oracle_expectation(scenario, node=node, constants=constants)
+    if expected is None:
+        return []
+    run = run_scenario(scenario)
+    failures = []
+    for name, want, got in (
+        ("makespan", expected.makespan, run.makespan),
+        ("total_energy", expected.total_energy, run.total_energy),
+        ("edp", expected.edp, run.edp),
+    ):
+        err = _rel_err(want, got)
+        if err > rel_tol:
+            failures.append(
+                f"oracle:{name}: engine={got!r} oracle={want!r} "
+                f"rel_err={err:.3e} (case={expected.case})"
+            )
+    snapshot = run.cluster.conformance_snapshot()
+    busy = snapshot["nodes"][0]["busy_seconds"]
+    if _rel_err(expected.busy_seconds, busy) > rel_tol:
+        failures.append(
+            f"oracle:busy_seconds: engine={busy!r} "
+            f"oracle={expected.busy_seconds!r} (case={expected.case})"
+        )
+    specs = scenario.specs()
+    by_label = run.job_energies
+    for idx, want in expected.job_energies.items():
+        label = specs[idx].label
+        got = by_label.get(label)
+        if got is None:
+            failures.append(f"oracle:job_energy[{label}]: job never completed")
+        elif _rel_err(want, got) > rel_tol:
+            failures.append(
+                f"oracle:job_energy[{label}]: engine={got!r} oracle={want!r} "
+                f"rel_err={_rel_err(want, got):.3e} (case={expected.case})"
+            )
+    return failures

@@ -1,0 +1,179 @@
+"""Top-level conformance entry points: the matrix run and self-verify.
+
+:func:`run_conformance` is what ``python -m repro conform`` and the CI
+conformance lane execute: the full degenerate-scenario oracle matrix,
+every metamorphic relation over the standard per-application scenario
+registry, and (optionally) harness self-verification against the
+deliberately broken engines of :mod:`repro.conformance.mutants`.
+
+Self-verification holds the checks themselves to account: under each
+mutant the fuzzer must (a) find a failure within its budget, (b) shrink
+it to at most :data:`MAX_SHRUNK_JOBS` jobs, (c) emit a runnable pytest
+repro, and (d) the shrunk scenario must pass on the *healthy* engine —
+proving the defect lives in the engine variant, not in the checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.conformance.fuzzer import fuzz, run_checks
+from repro.conformance.mutants import MUTANTS
+from repro.conformance.oracles import check_oracle, oracle_expectation
+from repro.conformance.relations import RELATIONS, check_relations
+from repro.conformance.scenarios import oracle_matrix, registry_scenarios
+from repro.workloads.registry import ALL_APPS
+
+#: A mutant's minimal repro may need a co-location (the stale-cache
+#: defect is invisible to any single job) but never more than a pair.
+MAX_SHRUNK_JOBS = 2
+
+
+@dataclass
+class MutantVerdict:
+    """Self-verify outcome for one engine mutant."""
+
+    mutant: str
+    detected: bool
+    scenarios_executed: int = 0
+    check: str = ""
+    shrunk_jobs: int = 0
+    pytest_source: str | None = None
+    healthy_passes: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.detected
+            and self.shrunk_jobs <= MAX_SHRUNK_JOBS
+            and bool(self.pytest_source)
+            and self.healthy_passes
+        )
+
+    def describe(self) -> str:
+        if not self.detected:
+            return f"{self.mutant}: NOT DETECTED in {self.scenarios_executed} scenarios"
+        status = "ok" if self.ok else "DEFECTIVE"
+        return (
+            f"{self.mutant}: {status} — caught by {self.check} at scenario "
+            f"{self.scenarios_executed}, shrunk to {self.shrunk_jobs} job(s), "
+            f"healthy engine {'passes' if self.healthy_passes else 'FAILS'} the repro"
+        )
+
+
+@dataclass
+class ConformanceReport:
+    """Everything one conformance run established."""
+
+    oracle_scenarios: int = 0
+    oracle_failures: list[str] = field(default_factory=list)
+    relation_checks: int = 0
+    relation_applicable: dict[str, int] = field(default_factory=dict)
+    relation_failures: list[str] = field(default_factory=list)
+    verdicts: list[MutantVerdict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.oracle_failures
+            and not self.relation_failures
+            and all(v.ok for v in self.verdicts)
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"oracle matrix: {self.oracle_scenarios} scenarios, "
+            f"{len(self.oracle_failures)} failure(s)",
+            *(f"  {msg}" for msg in self.oracle_failures[:20]),
+            f"relations: {self.relation_checks} checks over "
+            f"{len(self.relation_applicable)} relations, "
+            f"{len(self.relation_failures)} failure(s)",
+            *(
+                f"  {name}: applicable to {count} scenario(s)"
+                for name, count in sorted(self.relation_applicable.items())
+            ),
+            *(f"  {msg}" for msg in self.relation_failures[:20]),
+        ]
+        if self.verdicts:
+            lines.append(f"self-verify: {len(self.verdicts)} mutant(s)")
+            lines.extend(f"  {v.describe()}" for v in self.verdicts)
+        lines.append(f"conformance: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def self_verify(*, budget: int = 60, seed: int = 7) -> list[MutantVerdict]:
+    """Prove the harness catches each registered engine mutant."""
+    verdicts = []
+    for name, factory in MUTANTS.items():
+        with factory():
+            report = fuzz(budget=budget, seed=seed)
+        if report.ok:
+            verdicts.append(
+                MutantVerdict(
+                    mutant=name, detected=False,
+                    scenarios_executed=report.executed,
+                )
+            )
+            continue
+        assert report.shrunk is not None and report.failure is not None
+        verdicts.append(
+            MutantVerdict(
+                mutant=name,
+                detected=True,
+                scenarios_executed=report.executed,
+                check=report.failure.check,
+                shrunk_jobs=len(report.shrunk.jobs),
+                pytest_source=report.pytest_source,
+                healthy_passes=not run_checks(report.shrunk),
+            )
+        )
+    return verdicts
+
+
+def run_conformance(
+    *,
+    codes=ALL_APPS,
+    with_self_verify: bool = False,
+    self_verify_budget: int = 60,
+    seed: int = 7,
+) -> ConformanceReport:
+    """The full conformance battery (CI's conformance lane).
+
+    1. Every scenario of the degenerate oracle matrix must agree with
+       its closed form within 1e-9 (and every one must *have* a closed
+       form — a matrix entry the dispatcher cannot solve is a bug in
+       the matrix, reported rather than skipped).
+    2. Every registered relation runs against every standard registry
+       scenario; each relation must be applicable to at least one
+       scenario (a permanently-gated relation is dead coverage).
+    3. Optionally, harness self-verification against all mutants.
+    """
+    report = ConformanceReport()
+
+    matrix = oracle_matrix(codes)
+    report.oracle_scenarios = len(matrix)
+    for scenario in matrix:
+        if oracle_expectation(scenario) is None:
+            report.oracle_failures.append(
+                f"matrix scenario not oracle-solvable: {scenario!r}"
+            )
+            continue
+        report.oracle_failures.extend(check_oracle(scenario))
+
+    report.relation_applicable = {name: 0 for name in RELATIONS}
+    for scenario in registry_scenarios(codes):
+        for result in check_relations(scenario):
+            report.relation_checks += 1
+            if result.applicable:
+                report.relation_applicable[result.name] += 1
+                if result.failures:
+                    report.relation_failures.append(result.describe())
+    for name, count in report.relation_applicable.items():
+        if count == 0:
+            report.relation_failures.append(
+                f"{name}: never applicable on the standard registry"
+            )
+
+    if with_self_verify:
+        report.verdicts = self_verify(budget=self_verify_budget, seed=seed)
+    return report

@@ -113,6 +113,26 @@ class InjectionPlan:
         """The zero-rate plan: a healthy run."""
         return cls(events=())
 
+    def without(self, index: int) -> "InjectionPlan":
+        """A copy with event ``index`` removed.
+
+        The conformance shrinker minimises fault schedules one event at
+        a time; dropping a ``node_crash`` may orphan its paired
+        ``node_recover``, which the injector tolerates (the recovery
+        finds the node up and is counted as skipped).
+        """
+        if not 0 <= index < len(self.events):
+            raise IndexError(f"no event at index {index}")
+        return InjectionPlan(
+            events=self.events[:index] + self.events[index + 1 :]
+        )
+
+    def truncated(self, n: int) -> "InjectionPlan":
+        """A copy keeping only the first ``n`` events (time order)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return InjectionPlan(events=self.events[:n])
+
     @classmethod
     def generate(
         cls,

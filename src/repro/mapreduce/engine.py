@@ -471,6 +471,28 @@ class NodeEngine:
     def can_fit(self, spec: JobSpec) -> bool:
         return spec.config.n_mappers <= self.free_cores
 
+    def oracle_snapshot(self) -> dict:
+        """Internal accounting state, exposed for conformance checks.
+
+        The analytic oracles of :mod:`repro.conformance` assert against
+        these sums directly (not just against derived metrics), so an
+        accounting bug cannot hide behind a compensating error in a
+        downstream formula.  Read-only: the dict is a copy.
+        """
+        return {
+            "node_id": self.node_id,
+            "clock": self._clock,
+            "alive": self.alive,
+            "generation": self.generation,
+            "running_labels": [r.spec.label for r in self.running],
+            "busy_seconds": self._busy_time,
+            "busy_energy": self._busy_energy,
+            "first_busy_start": self._first_busy_start,
+            "last_busy_end": self._last_busy_end,
+            "down_intervals": [tuple(iv) for iv in self._down_intervals],
+            "completed": len(self.finished),
+        }
+
     def _segment_state(self) -> tuple[float, float, float, float, float]:
         """(stretch, watts, u_disk, u_net, u_mem), cached per generation."""
         seg = self._seg
@@ -1064,6 +1086,22 @@ class ClusterEngine:
         """Cluster EDP of the completed workload: energy × makespan."""
         t = self.makespan
         return self.total_energy(t) * t
+
+    def conformance_snapshot(self) -> dict:
+        """Cluster-wide accounting state for the conformance suite.
+
+        Aggregates every node's :meth:`NodeEngine.oracle_snapshot` plus
+        the cluster-level invariant inputs (pending queue, result
+        count), so oracle checks can pin the *internals* that makespan
+        and energy are derived from.
+        """
+        return {
+            "now": self.now,
+            "pending": [s.label for s in self.pending],
+            "n_results": len(self.results),
+            "makespan": self.makespan,
+            "nodes": [n.oracle_snapshot() for n in self.nodes],
+        }
 
 
 def fifo_first_fit(cluster: ClusterEngine, t: float) -> None:

@@ -63,6 +63,57 @@ class TaskJobCounters:
             return 1.0
         return self.data_local_maps / self.n_map_tasks
 
+    def inconsistencies(
+        self, attempts: "Sequence[MapTaskAttempt]"
+    ) -> list[str]:
+        """Cross-validate these counters against the raw attempt log.
+
+        The conservation laws a correct runner cannot break: every map
+        task is either data-local or remote, successful attempts match
+        the task count, failed attempts match the failure counter, and
+        record/spill totals equal the sums over successful attempts
+        (failed attempts commit nothing).  Returns human-readable
+        violation messages — empty means the summary is faithful.
+        """
+        failures: list[str] = []
+        succeeded = [a for a in attempts if a.succeeded]
+        failed = [a for a in attempts if not a.succeeded]
+        checks = (
+            ("n_map_tasks", self.n_map_tasks, len(succeeded)),
+            ("failed_map_attempts", self.failed_map_attempts, len(failed)),
+            (
+                "data_local_maps + remote_maps",
+                self.data_local_maps + self.remote_maps,
+                self.n_map_tasks,
+            ),
+            (
+                "data_local_maps",
+                self.data_local_maps,
+                sum(1 for a in succeeded if a.data_local),
+            ),
+            (
+                "map_input_records",
+                self.map_input_records,
+                sum(a.n_records_in for a in succeeded),
+            ),
+            (
+                "map_output_records",
+                self.map_output_records,
+                sum(a.n_records_out for a in succeeded),
+            ),
+            (
+                "total_spills",
+                self.total_spills,
+                sum(a.n_spills for a in succeeded),
+            ),
+        )
+        for name, reported, derived in checks:
+            if reported != derived:
+                failures.append(
+                    f"{name}: counter says {reported}, attempt log says {derived}"
+                )
+        return failures
+
 
 RecordReader = Callable[[Block, int], Iterator[KeyValue]]
 

@@ -87,6 +87,14 @@ class JobMetrics:
         """Convenience: a 0-d metric as a Python float."""
         return float(np.asarray(getattr(self, field)))
 
+    @property
+    def pipeline_seconds(self) -> np.ndarray:
+        """Core-pipeline CPU seconds: ``t_cpu`` minus its memory-stall
+        share.  This is the component that scales as 1/f under DVFS —
+        the frequency-doubling metamorphic relation pins exactly this.
+        """
+        return self.t_cpu * (1.0 - self.stall_fraction)
+
 
 @dataclass(frozen=True, slots=True)
 class ScalarJobMetrics:
@@ -123,6 +131,11 @@ class ScalarJobMetrics:
     def scalar(self, field: str) -> float:
         """API parity with :meth:`JobMetrics.scalar`."""
         return getattr(self, field)
+
+    @property
+    def pipeline_seconds(self) -> float:
+        """Scalar twin of :attr:`JobMetrics.pipeline_seconds`."""
+        return self.t_cpu * (1.0 - self.stall_fraction)
 
 
 @dataclass(frozen=True)

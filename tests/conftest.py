@@ -13,6 +13,25 @@ from pathlib import Path
 
 import pytest
 
+try:
+    from hypothesis import HealthCheck, settings as _hyp_settings
+
+    # Explicit, derandomized profiles so property-test depth is a lane
+    # decision (REPRO_HYPOTHESIS_PROFILE=dev|ci), never a library
+    # default: ``dev`` keeps the local/PR suite fast, ``ci`` is the
+    # full-matrix depth.  Both are fully deterministic — no flaky
+    # random seeds, shrinking still works on failure.
+    _COMMON = dict(
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    _hyp_settings.register_profile("dev", max_examples=30, **_COMMON)
+    _hyp_settings.register_profile("ci", max_examples=120, **_COMMON)
+    _hyp_settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - property tests parametrize instead
+    pass
+
 from repro.core.database import build_database
 from repro.core.stp import build_training_dataset
 from repro.hardware.node import ATOM_C2758
@@ -39,6 +58,25 @@ def isolated_cache_dir(tmp_path_factory):
     os.environ["REPRO_CACHE_DIR"] = str(path)
     yield path
     os.environ.pop("REPRO_CACHE_DIR", None)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def isolated_workers():
+    """Strip ``REPRO_WORKERS`` for the whole suite.
+
+    A developer's exported env must never flip the parallel-path
+    selection inside the byte-identity suites (serial vs pool is a
+    *test parameter* there, not an inherited setting).  CI's
+    worker-pool lane opts back in by setting
+    ``REPRO_TEST_KEEP_WORKERS=1`` alongside ``REPRO_WORKERS``.
+    """
+    if os.environ.get("REPRO_TEST_KEEP_WORKERS"):
+        yield
+        return
+    saved = os.environ.pop("REPRO_WORKERS", None)
+    yield
+    if saved is not None:
+        os.environ["REPRO_WORKERS"] = saved
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,198 @@
+"""Scenario fuzzer: determinism, generation validity, shrinking, emission.
+
+The fuzzer is itself test infrastructure, so its guarantees get their
+own tests: the walk is a pure function of the seed, every generated
+scenario is constructible and runnable, shrinking converges to a
+minimal scenario that still fails the *same named check*, and the
+emitted pytest source is runnable Python that reproduces the failure.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.conformance import (
+    Scenario,
+    ScenarioJob,
+    fuzz,
+    generate_scenario,
+    run_checks,
+    shrink,
+)
+from repro.conformance.fuzzer import Failure, emit_pytest
+from repro.conformance.mutants import off_by_one_waves
+from repro.utils.units import GB, GHZ, MB
+
+
+def _single(code="wc"):
+    return Scenario(
+        1,
+        (
+            ScenarioJob(
+                code=code, data_bytes=1 * GB, frequency=1.2 * GHZ,
+                block_size=128 * MB, n_mappers=2,
+            ),
+        ),
+    )
+
+
+# ---------------------------------------------------------- generation
+def test_generate_scenario_is_seed_deterministic():
+    a = generate_scenario(random.Random("42:7"))
+    b = generate_scenario(random.Random("42:7"))
+    assert a == b
+
+
+def test_generated_scenarios_are_valid_and_diverse():
+    scenarios = [generate_scenario(random.Random(f"0:{i}")) for i in range(200)]
+    # Constructing a Scenario validates everything (codes, knobs, fault
+    # targets); reaching here at all means 200/200 were valid.
+    assert any(len(s.jobs) == 1 for s in scenarios)
+    assert any(len(s.jobs) >= 3 for s in scenarios)
+    assert any(s.n_nodes > 1 for s in scenarios)
+    assert any(s.fault_events for s in scenarios)
+    assert any(not s.fault_events for s in scenarios)
+    assert any(j.submit_time > 0 for s in scenarios for j in s.jobs)
+    # The oracle-friendly symmetric shape appears: identical job tuples.
+    assert any(
+        len(s.jobs) >= 2 and len({j.identity() for j in s.jobs}) == 1
+        for s in scenarios
+    )
+
+
+def test_fault_events_respect_node_range():
+    for i in range(100):
+        s = generate_scenario(random.Random(f"9:{i}"))
+        for ev in s.fault_events:
+            assert 0 <= ev.node_id < s.n_nodes
+
+
+# ------------------------------------------------------------- fuzzing
+def test_fuzz_is_deterministic():
+    a = fuzz(budget=25, seed=11)
+    b = fuzz(budget=25, seed=11)
+    assert a.executed == b.executed
+    assert a.describe() == b.describe()
+
+
+def test_fuzz_rejects_empty_budget():
+    with pytest.raises(ValueError, match="budget must be >= 1"):
+        fuzz(budget=0, seed=0)
+
+
+@pytest.mark.fuzz
+def test_healthy_engine_fuzzes_clean():
+    report = fuzz(budget=60, seed=5)
+    assert report.ok, report.describe()
+    assert report.executed == 60
+    assert report.shrunk is None and report.pytest_source is None
+    assert "clean" in report.describe()
+
+
+@pytest.mark.slow
+@pytest.mark.fuzz
+def test_nightly_depth_fuzz_multiple_seeds():
+    """The full-matrix lane's deeper walk: several independent seeds."""
+    for seed in (0, 1, 2):
+        report = fuzz(budget=400, seed=seed)
+        assert report.ok, report.describe()
+
+
+# ------------------------------------------------------------ shrinking
+def test_shrink_preserves_the_failing_check():
+    with off_by_one_waves():
+        report = fuzz(budget=40, seed=7)
+        assert not report.ok
+        check = report.failure.check
+        assert check.startswith("oracle:")
+        # Minimal repro for a per-job kernel defect is a single job.
+        assert len(report.shrunk.jobs) == 1
+        assert report.shrunk.n_nodes == 1
+        assert not report.shrunk.fault_events
+        # The shrunk scenario fails the same named check, nothing rode
+        # along from the original scenario's other defect surfaces.
+        assert any(f.check == check for f in run_checks(report.shrunk))
+    # On the healthy engine the minimised repro passes: the defect was
+    # in the mutant, not the checks.
+    assert run_checks(report.shrunk) == []
+
+
+def test_shrink_simplifies_knobs():
+    with off_by_one_waves():
+        report = fuzz(budget=40, seed=7)
+        job = report.shrunk.jobs[0]
+        assert job.submit_time == 0.0
+        assert job.data_bytes == 1 * GB
+        assert job.n_mappers == 1
+
+
+def test_shrink_is_a_noop_on_a_passing_scenario():
+    scenario = _single()
+    assert shrink(scenario, "oracle:makespan") == scenario
+
+
+# ------------------------------------------------------------- emission
+def test_emit_pytest_is_runnable_and_passes_healthy():
+    failure = Failure(check="oracle:makespan", message="x")
+    source = emit_pytest(_single(), failure, seed=3)
+    assert "def test_fuzz_regression_oracle_makespan()" in source
+    assert "--seed 3" in source
+    namespace: dict = {}
+    exec(compile(source, "<fuzz-repro>", "exec"), namespace)
+    namespace["test_fuzz_regression_oracle_makespan"]()  # healthy: no raise
+
+
+def test_emit_pytest_fails_under_the_mutant():
+    with off_by_one_waves():
+        report = fuzz(budget=40, seed=7)
+        source = report.pytest_source
+        assert source is not None
+        [test_name] = [
+            line.split("(")[0].removeprefix("def ")
+            for line in source.splitlines()
+            if line.startswith("def test_")
+        ]
+        namespace: dict = {}
+        exec(compile(source, "<fuzz-repro>", "exec"), namespace)
+        with pytest.raises(AssertionError):
+            namespace[test_name]()
+    namespace[test_name]()  # and passes again once the mutant is gone
+
+
+def test_emit_pytest_imports_faultevent_when_needed():
+    from repro.faults.plan import FaultEvent
+
+    scenario = Scenario(
+        1,
+        _single().jobs,
+        fault_events=(FaultEvent(4.0, "node_crash", 0, severity=1.0, pick=0.2),),
+    )
+    source = emit_pytest(scenario, Failure(check="crash:X", message=""), seed=0)
+    assert "from repro.faults.plan import FaultEvent" in source
+    exec(compile(source, "<fuzz-repro>", "exec"), {})
+
+
+# --------------------------------------------------------- crash capture
+def test_engine_exception_becomes_a_crash_failure(monkeypatch):
+    import repro.conformance.fuzzer as fuzzer_mod
+
+    def boom(_scenario):
+        raise RuntimeError("engine exploded")
+
+    monkeypatch.setattr(fuzzer_mod, "check_oracle", boom)
+    failures = run_checks(_single(), relations=[])
+    assert [f.check for f in failures] == ["crash:RuntimeError"]
+    assert "engine exploded" in failures[0].message
+
+
+def test_relation_exception_becomes_a_crash_failure(monkeypatch):
+    import repro.conformance.fuzzer as fuzzer_mod
+
+    def boom(_scenario, _names):
+        raise ValueError("relation exploded")
+
+    monkeypatch.setattr(fuzzer_mod, "check_relations", boom)
+    failures = run_checks(_single(), relations=["permute-job-ids"])
+    assert any(f.check == "crash:ValueError" for f in failures)

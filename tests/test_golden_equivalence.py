@@ -20,6 +20,8 @@ from repro.experiments.fig5_priority import run_fig5
 from repro.experiments.robustness import run_robustness
 from repro.experiments.steady_state import run_steady_state
 
+pytestmark = pytest.mark.golden
+
 GOLDEN = Path(__file__).parent / "golden"
 
 

@@ -36,7 +36,7 @@ from repro.utils.rng import rng_from
 from repro.workloads.streams import poisson_job_stream
 
 try:
-    from hypothesis import HealthCheck, given, settings
+    from hypothesis import given
     from hypothesis import strategies as st
 
     HAVE_HYPOTHESIS = True
@@ -47,19 +47,18 @@ except ImportError:  # pragma: no cover - exercised on bare boxes only
 def seeded_cases(n: int):
     """Run the test once per generated integer ``case_seed``.
 
-    With hypothesis: ``n`` examples drawn from the full int32 range
-    (plus shrinking on failure).  Without: ``case_seed`` sweeps
-    ``range(n)`` via ``parametrize`` — same property, fixed seeds.
+    With hypothesis: cases drawn from the full int32 range (plus
+    shrinking on failure), at the *depth of the active profile* —
+    ``tests/conftest.py`` registers derandomized ``dev``/``ci``
+    profiles selected via ``REPRO_HYPOTHESIS_PROFILE``, so each CI
+    lane picks its own example budget instead of this file hard-coding
+    one.  Without hypothesis: ``case_seed`` sweeps ``range(n)`` via
+    ``parametrize`` — same property, fixed seeds, ``n`` per test.
     """
 
     def deco(fn):
         if HAVE_HYPOTHESIS:
-            return settings(
-                max_examples=n,
-                deadline=None,
-                derandomize=True,
-                suppress_health_check=[HealthCheck.too_slow],
-            )(given(case_seed=st.integers(min_value=0, max_value=2**31 - 1))(fn))
+            return given(case_seed=st.integers(min_value=0, max_value=2**31 - 1))(fn)
         return pytest.mark.parametrize("case_seed", range(n))(fn)
 
     return deco

@@ -1,0 +1,238 @@
+"""Edge-case coverage for ``repro.ml``: degenerate shapes and inputs.
+
+The model suites (``test_ml_linreg`` et al.) check accuracy on
+well-formed data; this file pins the *boundaries*: constant feature
+columns, single-sample fits, empty or mismatched test sets, and
+predict-before-fit — every one must either work exactly or raise a
+clean ``ValueError``/``RuntimeError``, never emit NaNs or warnings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.base import check_X, check_Xy
+from repro.ml.linreg import LinearRegression
+from repro.ml.metrics import mae, mean_ape, mse, r2_score
+from repro.ml.mlp import MLPRegressor
+from repro.ml.preprocessing import StandardScaler, train_val_split
+from repro.ml.reptree import REPTree
+
+
+def _toy(n=40, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = X @ np.arange(1.0, d + 1.0) + 0.5
+    return X, y
+
+
+# ---------------------------------------------------------- validation
+class TestCheckXy:
+    def test_empty_training_set_raises(self):
+        with pytest.raises(ValueError, match="empty training set"):
+            check_Xy(np.empty((0, 3)), np.empty(0))
+
+    def test_row_mismatch_raises(self):
+        with pytest.raises(ValueError, match="3 rows but y has 2"):
+            check_Xy(np.zeros((3, 2)), np.zeros(2))
+
+    def test_non_2d_X_raises(self):
+        with pytest.raises(ValueError, match="X must be 2-D"):
+            check_Xy(np.zeros(3), np.zeros(3))
+
+    def test_non_1d_y_raises(self):
+        with pytest.raises(ValueError, match="y must be 1-D"):
+            check_Xy(np.zeros((3, 2)), np.zeros((3, 1)))
+
+    def test_non_finite_raises(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_Xy(np.array([[1.0], [np.nan]]), np.zeros(2))
+        with pytest.raises(ValueError, match="finite"):
+            check_Xy(np.zeros((2, 1)), np.array([0.0, np.inf]))
+
+    def test_check_X_promotes_1d_row(self):
+        out = check_X(np.array([1.0, 2.0]), 2)
+        assert out.shape == (1, 2)
+
+    def test_check_X_wrong_width_raises(self):
+        with pytest.raises(ValueError, match=r"must be \(n, 2\)"):
+            check_X(np.zeros((4, 3)), 2)
+
+
+# ------------------------------------------------------------- metrics
+class TestMetricsEdges:
+    def test_empty_test_set_raises_cleanly(self):
+        empty = np.empty(0)
+        for fn in (mse, mae, mean_ape, r2_score):
+            with pytest.raises(ValueError, match="empty arrays"):
+                fn(empty, empty)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_mean_ape_zero_target_raises(self):
+        with pytest.raises(ValueError, match="APE undefined for zero targets"):
+            mean_ape([0.0, 1.0], [0.1, 1.0])
+
+    def test_r2_constant_target_raises(self):
+        with pytest.raises(ValueError, match="undefined for constant targets"):
+            r2_score([2.0, 2.0, 2.0], [2.0, 2.1, 1.9])
+
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 4.0])
+        assert mse(y, y) == 0.0
+        assert mae(y, y) == 0.0
+        assert mean_ape(y, y) == 0.0
+        assert r2_score(y, y) == 1.0
+
+    def test_single_sample_pointwise_metrics(self):
+        # One test row is legal for pointwise metrics (r2 needs variance).
+        assert mse([2.0], [3.0]) == 1.0
+        assert mae([2.0], [3.0]) == 1.0
+        assert mean_ape([2.0], [3.0]) == pytest.approx(50.0)  # percent
+
+
+# ------------------------------------------------------- preprocessing
+class TestScalerEdges:
+    def test_constant_column_transforms_to_zero(self):
+        X = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        # The degenerate std is clamped to 1, so a constant column maps
+        # to exactly zero — never NaN/inf from a 0/0.
+        assert np.all(Z[:, 0] == 0.0)
+        assert np.all(np.isfinite(Z))
+        assert np.std(Z[:, 1]) == pytest.approx(1.0)
+
+    def test_constant_column_roundtrips(self):
+        X = np.column_stack([np.full(6, -3.5), np.linspace(0, 1, 6)])
+        scaler = StandardScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        np.testing.assert_allclose(back, X, rtol=0, atol=1e-12)
+
+    def test_single_sample_fit(self):
+        X = np.array([[4.0, -1.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert Z.shape == (1, 2)
+        assert np.all(Z == 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="scaler is not fitted"):
+            StandardScaler().transform(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError, match="scaler is not fitted"):
+            StandardScaler().inverse_transform(np.zeros((1, 2)))
+
+    def test_fit_non_2d_raises(self):
+        with pytest.raises(ValueError, match="X must be 2-D"):
+            StandardScaler().fit(np.zeros(3))
+
+
+class TestSplitEdges:
+    def test_single_sample_split_raises(self):
+        with pytest.raises(ValueError, match="need at least 2 samples"):
+            train_val_split(np.zeros((1, 2)), np.zeros(1))
+
+    def test_bad_fraction_raises(self):
+        X, y = np.zeros((4, 1)), np.zeros(4)
+        for frac in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match="val_fraction"):
+                train_val_split(X, y, val_fraction=frac)
+
+    def test_two_samples_yield_one_each(self):
+        X, y = np.arange(2.0)[:, None], np.arange(2.0)
+        Xt, yt, Xv, yv = train_val_split(X, y, val_fraction=0.5, seed=0)
+        assert len(yt) == 1 and len(yv) == 1
+        assert sorted([*yt, *yv]) == [0.0, 1.0]
+
+    def test_split_is_a_partition(self):
+        X, y = _toy(n=23)
+        Xt, yt, Xv, yv = train_val_split(X, y, val_fraction=0.25, seed=3)
+        assert len(yt) + len(yv) == 23
+        assert sorted([*yt, *yv]) == sorted(y.tolist())
+
+
+# -------------------------------------------------------------- models
+class TestModelEdges:
+    def test_predict_before_fit_raises(self):
+        X = np.zeros((2, 2))
+        for model in (LinearRegression(), REPTree(), MLPRegressor()):
+            with pytest.raises(RuntimeError, match="not fitted"):
+                model.predict(X)
+
+    def test_single_sample_fit(self):
+        # A 1-row training set is degenerate but legal: every model must
+        # fit and predict that row's target back (constant prediction).
+        X, y = np.array([[1.0, 2.0]]), np.array([5.0])
+        assert LinearRegression().fit(X, y).predict(X) == pytest.approx([5.0])
+        tree = REPTree().fit(X, y)
+        assert tree.predict(X) == pytest.approx([5.0])
+        assert tree.n_leaves == 1 and tree.depth == 0
+        mlp = MLPRegressor(hidden=(4,), epochs=2, batch_size=1).fit(X, y)
+        assert np.all(np.isfinite(mlp.predict(X)))
+
+    def test_constant_feature_columns(self):
+        # A constant column carries no signal; fitting must stay finite
+        # and the informative column must still be used.
+        rng = np.random.default_rng(1)
+        X = np.column_stack([np.full(60, 3.0), rng.normal(size=60)])
+        y = 2.0 * X[:, 1] + 1.0
+        for model in (
+            LinearRegression(ridge=1e-6),
+            REPTree(seed=0),
+            MLPRegressor(
+                hidden=(8,), epochs=300, lr=1e-2, seed=0, log_target=False
+            ),
+        ):
+            pred = model.fit(X, y).predict(X)
+            assert np.all(np.isfinite(pred))
+            assert r2_score(y, pred) > 0.8
+
+    def test_all_constant_features_predict_mean(self):
+        X = np.full((12, 2), 4.0)
+        y = np.arange(12.0)
+        assert REPTree(prune=False).fit(X, y).predict(X[:1]) == pytest.approx(
+            [y.mean()]
+        )
+        pred = LinearRegression().fit(X, y).predict(X[:1])
+        assert pred == pytest.approx([y.mean()])
+
+    def test_mlp_log_target_rejects_nonpositive(self):
+        X, _ = _toy(n=12)
+        y = np.linspace(-1.0, 1.0, 12)
+        with pytest.raises(ValueError, match="strictly positive targets"):
+            MLPRegressor(log_target=True).fit(X, y)
+
+    def test_constant_target(self):
+        X, _ = _toy()
+        y = np.full(len(X), 2.5)
+        assert REPTree().fit(X, y).predict(X) == pytest.approx(y)
+        assert LinearRegression().fit(X, y).predict(X) == pytest.approx(y)
+
+    def test_empty_fit_raises(self):
+        X, y = np.empty((0, 2)), np.empty(0)
+        for model in (LinearRegression(), REPTree(), MLPRegressor()):
+            with pytest.raises(ValueError, match="empty training set"):
+                model.fit(X, y)
+
+    def test_feature_count_enforced_at_predict(self):
+        X, y = _toy(d=3)
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            model.predict(np.zeros((2, 4)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="ridge"):
+            LinearRegression(ridge=-1.0)
+        with pytest.raises(ValueError, match="max_depth"):
+            REPTree(max_depth=0)
+        with pytest.raises(ValueError, match="min_leaf"):
+            REPTree(min_leaf=0)
+        with pytest.raises(ValueError, match="prune_fraction"):
+            REPTree(prune_fraction=1.0)
+        with pytest.raises(ValueError, match="hidden"):
+            MLPRegressor(hidden=())
+        with pytest.raises(ValueError, match="lr must be positive"):
+            MLPRegressor(lr=0.0)
+        with pytest.raises(ValueError, match="epochs and batch_size"):
+            MLPRegressor(epochs=0)

@@ -134,3 +134,29 @@ def test_deque_and_list_assignment_orders_identical(hdfs):
             worker = (worker + 1) % 4
         seq[backend.__name__] = log
     assert seq["deque"] == seq["list"]
+
+
+def test_counters_are_consistent_with_attempt_log(hdfs):
+    runner = TaskJobRunner(hdfs, n_workers=4)
+    _out, counters, attempts = runner.run(get_app("wc"), "input")
+    assert counters.inconsistencies(attempts) == []
+
+
+def test_counters_consistent_under_fault_hook(hdfs):
+    runner = TaskJobRunner(hdfs, n_workers=4)
+    _out, counters, attempts = runner.run(
+        get_app("wc"), "input",
+        fault_hook=lambda task_id, attempt_no: task_id == 2 and attempt_no == 0,
+    )
+    assert counters.failed_map_attempts == 1
+    assert counters.inconsistencies(attempts) == []
+
+
+def test_counters_inconsistency_is_reported(hdfs):
+    from dataclasses import replace
+
+    runner = TaskJobRunner(hdfs, n_workers=4)
+    _out, counters, attempts = runner.run(get_app("wc"), "input")
+    doctored = replace(counters, map_input_records=counters.map_input_records + 1)
+    [message] = doctored.inconsistencies(attempts)
+    assert message.startswith("map_input_records: counter says")

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Render a per-package coverage table from a ``coverage.json`` report.
+
+CI's coverage lane runs pytest with ``--cov-report=json`` and pipes the
+result through this script, which aggregates line coverage per
+``repro.<subpackage>`` and emits a GitHub-flavoured markdown table —
+appended to ``$GITHUB_STEP_SUMMARY`` when that variable is set (i.e. in
+Actions), printed to stdout otherwise.  The whole-tree floor is
+enforced by ``--cov-fail-under``; this table is the per-package
+breakdown that tells you *where* the next uncovered lines live.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest --cov=repro --cov-report=json
+    python tools/coverage_table.py coverage.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def package_of(path: str) -> str:
+    """Map a measured file path to its ``repro.<subpackage>`` bucket."""
+    parts = Path(path).parts
+    try:
+        i = parts.index("repro")
+    except ValueError:
+        return "(other)"
+    if i + 2 < len(parts):
+        return f"repro.{parts[i + 1]}"
+    return "repro"  # top-level modules: __main__.py, __init__.py
+
+
+def build_rows(report: dict) -> list[tuple[str, int, int, float]]:
+    """(package, covered, statements, percent) per package, worst first."""
+    covered: dict[str, int] = defaultdict(int)
+    statements: dict[str, int] = defaultdict(int)
+    for path, data in report["files"].items():
+        summary = data["summary"]
+        pkg = package_of(path)
+        covered[pkg] += summary["covered_lines"]
+        statements[pkg] += summary["num_statements"]
+    rows = [
+        (pkg, covered[pkg], statements[pkg],
+         100.0 * covered[pkg] / statements[pkg] if statements[pkg] else 100.0)
+        for pkg in statements
+    ]
+    rows.sort(key=lambda r: (r[3], r[0]))
+    return rows
+
+
+def render(rows: list[tuple[str, int, int, float]]) -> str:
+    lines = [
+        "### Coverage by package",
+        "",
+        "| package | covered | statements | % |",
+        "|---|---:|---:|---:|",
+    ]
+    total_cov = sum(r[1] for r in rows)
+    total_stmt = sum(r[2] for r in rows)
+    for pkg, cov, stmt, pct in rows:
+        lines.append(f"| `{pkg}` | {cov} | {stmt} | {pct:.1f} |")
+    pct = 100.0 * total_cov / total_stmt if total_stmt else 100.0
+    lines.append(f"| **total** | {total_cov} | {total_stmt} | **{pct:.1f}** |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", nargs="?", default="coverage.json",
+                        help="path to coverage.py's JSON report")
+    args = parser.parse_args(argv)
+    try:
+        report = json.loads(Path(args.report).read_text())
+    except FileNotFoundError:
+        print(f"error: {args.report} not found — run pytest with "
+              "--cov-report=json first", file=sys.stderr)
+        return 1
+    table = render(build_rows(report))
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(table)
+    print(table, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
