@@ -136,7 +136,11 @@ def _cmd_conform(args) -> int:
 def _cmd_fuzz(args) -> int:
     from repro.conformance import fuzz
 
-    report = fuzz(budget=args.budget, seed=args.seed)
+    report = fuzz(
+        budget=args.budget,
+        seed=args.seed,
+        backends=tuple(args.backends or ()),
+    )
     print(report.describe())
     return 0 if report.ok else 1
 
@@ -210,6 +214,12 @@ def main(argv: list[str] | None = None) -> int:
     p_fuzz.add_argument("--budget", type=int, default=200,
                         help="number of random scenarios to execute")
     p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument(
+        "--backend", action="append", dest="backends",
+        choices=["scalar", "batch"],
+        help="also differentially check this evaluation backend against "
+             "the event engine on every scenario (repeatable)",
+    )
     p_fuzz.set_defaults(fn=_cmd_fuzz)
 
     sub.add_parser("clear-cache", help="drop cached artifacts").set_defaults(

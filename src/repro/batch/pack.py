@@ -1,0 +1,161 @@
+"""ScenarioBatch: lift declarative scenarios into SoA buffers and back.
+
+The conformance layer's :class:`~repro.conformance.scenarios.Scenario`
+is data already — plain knobs, no engine objects — so a batch of them
+transposes naturally into structure-of-arrays form: one contiguous
+float64 array per knob, indexed ``(scenario, job-slot)``, padded to the
+widest scenario in the batch.  Padded slots are filled with **copies of
+slot 0** rather than zeros: every lane then carries valid kernel inputs
+(a DVFS frequency the dynamic-power lookup accepts, a positive data
+size), and the boolean :attr:`ScenarioBatch.mask` is the single source
+of truth for which slots are real.  All cross-slot reductions in
+:mod:`repro.batch.kernel` mask padded lanes to exact ``0.0`` terms, so
+padding never perturbs a result.
+
+:meth:`ScenarioBatch.scenarios` inverts the packing exactly — knob
+integers round-trip through float64 unharmed (all studied sizes are far
+below 2⁵³) and fault plans/recorder modes ride along as metadata — so
+``pack → unpack`` is the identity (property-tested in
+``tests/test_batch_property.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from operator import attrgetter
+
+import numpy as np
+
+from repro.batch.kernel import ProfileSoA
+from repro.conformance.scenarios import Scenario, ScenarioJob
+from repro.faults.plan import FaultEvent
+from repro.workloads.base import AppProfile
+from repro.workloads.registry import get_app
+
+
+@dataclass(frozen=True)
+class ScenarioBatch:
+    """A batch of scenarios in structure-of-arrays form.
+
+    Array fields are ``(S, K)`` float64 (``S`` scenarios, ``K`` job
+    slots = the widest scenario); everything a kernel touches is a
+    contiguous array, everything reconstruction needs but the kernel
+    does not (app codes, fault plans, recorder modes) is tuple
+    metadata.
+    """
+
+    n_nodes: np.ndarray  # (S,) int64
+    n_jobs: np.ndarray  # (S,) int64
+    data_bytes: np.ndarray  # (S, K) float64
+    frequency: np.ndarray
+    block_size: np.ndarray
+    n_mappers: np.ndarray
+    submit_time: np.ndarray
+    profile_idx: np.ndarray  # (S, K) int64 into :attr:`profiles`
+    #: Unique application profiles, first-seen order.
+    profiles: tuple[AppProfile, ...]
+    #: App code per profile slot (parallel to :attr:`profiles`).
+    profile_codes: tuple[str, ...]
+    fault_events: tuple[tuple[FaultEvent, ...], ...]
+    recorders: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return int(self.n_nodes.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.data_bytes.shape[1])
+
+    @property
+    def mask(self) -> np.ndarray:
+        """(S, K) bool: True where a job slot is real, False where padded."""
+        return np.arange(self.width)[None, :] < self.n_jobs[:, None]
+
+    def profile_soa(self) -> ProfileSoA:
+        """Per-slot profile constants, gathered into (S, K) lanes."""
+        return ProfileSoA.from_profiles(self.profiles).take(self.profile_idx)
+
+    def base_soa(self) -> ProfileSoA:
+        """The unique-profile table (1-D), for custom gathers."""
+        return ProfileSoA.from_profiles(self.profiles)
+
+    @classmethod
+    def from_scenarios(cls, scenarios: list[Scenario]) -> "ScenarioBatch":
+        """Pack scenarios into SoA buffers (padded slots copy slot 0)."""
+        if not scenarios:
+            raise ValueError("need at least one scenario")
+        S = len(scenarios)
+        K = max(len(s.jobs) for s in scenarios)
+        profiles: list[AppProfile] = []
+        codes: list[str] = []
+        slot_of: dict[str, int] = {}
+
+        def profile_slot(code: str) -> int:
+            hit = slot_of.get(code)
+            if hit is None:
+                hit = slot_of[code] = len(profiles)
+                profiles.append(get_app(code).profile)
+                codes.append(code)
+            return hit
+
+        # One flat pass with a C-implemented attrgetter, then a single
+        # bulk np.array conversion: this is the batch path's packing
+        # cost, so per-slot Python overhead is kept to one getter call
+        # and one dict lookup per job.
+        getter = attrgetter(
+            "data_bytes", "frequency", "block_size", "n_mappers", "submit_time"
+        )
+        if K == 1:
+            padded = [s.jobs[0] for s in scenarios]
+        else:
+            padded = [
+                j
+                for s in scenarios
+                for j in s.jobs + (s.jobs[0],) * (K - len(s.jobs))
+            ]
+        vals = np.array([getter(j) for j in padded], dtype=np.float64)
+        vals = vals.reshape(S, K, 5)
+        profile_idx = np.array(
+            [profile_slot(j.code) for j in padded], dtype=np.int64
+        ).reshape(S, K)
+        return cls(
+            n_nodes=np.array([s.n_nodes for s in scenarios], dtype=np.int64),
+            n_jobs=np.array([len(s.jobs) for s in scenarios], dtype=np.int64),
+            data_bytes=np.ascontiguousarray(vals[:, :, 0]),
+            frequency=np.ascontiguousarray(vals[:, :, 1]),
+            block_size=np.ascontiguousarray(vals[:, :, 2]),
+            n_mappers=np.ascontiguousarray(vals[:, :, 3]),
+            submit_time=np.ascontiguousarray(vals[:, :, 4]),
+            profile_idx=profile_idx,
+            profiles=tuple(profiles),
+            profile_codes=tuple(codes),
+            fault_events=tuple(s.fault_events for s in scenarios),
+            recorders=tuple(s.recorder for s in scenarios),
+        )
+
+    def scenarios(self) -> list[Scenario]:
+        """Unpack back into scenario objects — the exact inverse of
+        :meth:`from_scenarios` (asserted by the round-trip property
+        tests)."""
+        out: list[Scenario] = []
+        for i in range(len(self)):
+            jobs = tuple(
+                ScenarioJob(
+                    code=self.profile_codes[int(self.profile_idx[i, j])],
+                    data_bytes=int(self.data_bytes[i, j]),
+                    frequency=float(self.frequency[i, j]),
+                    block_size=int(self.block_size[i, j]),
+                    n_mappers=int(self.n_mappers[i, j]),
+                    submit_time=float(self.submit_time[i, j]),
+                )
+                for j in range(int(self.n_jobs[i]))
+            )
+            out.append(
+                Scenario(
+                    n_nodes=int(self.n_nodes[i]),
+                    jobs=jobs,
+                    fault_events=self.fault_events[i],
+                    recorder=self.recorders[i],
+                )
+            )
+        return out

@@ -404,3 +404,104 @@ class SweepTelemetry:
         if speedup is not None:
             lines.append(f"  effective parallelism: {speedup:.2f}x")
         return "\n".join(lines)
+
+
+# ------------------------------------------------------ batch telemetry
+class BatchTelemetry:
+    """Accounting for :func:`repro.batch.engine.evaluate_scenarios`.
+
+    Tracks how many scenarios each backend actually served, how many of
+    those were honest fallbacks to the event engine, and the shape of
+    the vectorised work (kernel passes and total SoA lanes).  A healthy
+    batch run over solvable scenario classes should report a batched
+    rate near 1.0; a low rate means the workload's shapes are outside
+    the closed forms and the batch layer is mostly delegating.
+    """
+
+    def __init__(self) -> None:
+        self.scenarios = 0
+        self.batched = 0
+        self.fallbacks = 0
+        self.kernel_calls = 0
+        self.kernel_lanes = 0
+        self.by_case: dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------
+    def record_scenario(self, case: str, backend: str, fallback: bool) -> None:
+        """One scenario's final outcome: class, serving backend, fallback."""
+        self.scenarios += 1
+        self.by_case[case] = self.by_case.get(case, 0) + 1
+        if fallback:
+            self.fallbacks += 1
+        elif backend != "event":
+            self.batched += 1
+
+    def record_kernel(self, lanes: int) -> None:
+        """One vectorised solver pass over ``lanes`` scenario lanes."""
+        self.kernel_calls += 1
+        self.kernel_lanes += lanes
+
+    # -- derived -------------------------------------------------------
+    @property
+    def batched_rate(self) -> float | None:
+        """Closed-form share of scenarios, or ``None`` before any ran."""
+        if self.scenarios == 0:
+            return None
+        return self.batched / self.scenarios
+
+    @property
+    def mean_lanes_per_call(self) -> float | None:
+        """Average SoA width per kernel pass (the amortisation factor)."""
+        if self.kernel_calls == 0:
+            return None
+        return self.kernel_lanes / self.kernel_calls
+
+    def as_dict(self) -> dict[str, float]:
+        """Counter snapshot for :class:`repro.telemetry.registry.
+        MetricsRegistry` (per-case detail flattens to keyed counters)."""
+        out = {
+            "scenarios": self.scenarios,
+            "batched": self.batched,
+            "fallbacks": self.fallbacks,
+            "kernel_calls": self.kernel_calls,
+            "kernel_lanes": self.kernel_lanes,
+        }
+        for case, n in sorted(self.by_case.items()):
+            out[f"case_{case}"] = n
+        rate = self.batched_rate
+        if rate is not None:
+            out["batched_rate"] = rate
+        lanes = self.mean_lanes_per_call
+        if lanes is not None:
+            out["mean_lanes_per_call"] = lanes
+        return out
+
+    def merge(self, other: "BatchTelemetry") -> "BatchTelemetry":
+        """Fold another telemetry object into this one (returns self)."""
+        self.scenarios += other.scenarios
+        self.batched += other.batched
+        self.fallbacks += other.fallbacks
+        self.kernel_calls += other.kernel_calls
+        self.kernel_lanes += other.kernel_lanes
+        for case, n in other.by_case.items():
+            self.by_case[case] = self.by_case.get(case, 0) + n
+        return self
+
+    def render(self) -> str:
+        """Human-readable batch-evaluation summary."""
+        lines = [
+            f"batch telemetry: {self.scenarios} scenario(s), "
+            f"{self.batched} closed-form, {self.fallbacks} fallback(s)"
+        ]
+        if self.by_case:
+            detail = ", ".join(
+                f"{case}={n}" for case, n in sorted(self.by_case.items())
+            )
+            lines.append(f"  by class: {detail}")
+        lanes = self.mean_lanes_per_call
+        if lanes is not None:
+            lines.append(
+                f"  kernel: {self.kernel_calls} pass(es) over "
+                f"{self.kernel_lanes} lane(s) ({lanes:.1f} lanes/pass)"
+            )
+        return "\n".join(lines)

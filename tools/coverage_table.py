@@ -37,6 +37,26 @@ def package_of(path: str) -> str:
     return "repro"  # top-level modules: __main__.py, __init__.py
 
 
+def missing_packages(report: dict, src_root: Path) -> list[str]:
+    """Subpackages on disk that the report never measured.
+
+    A package nobody imports produces no entry in ``coverage.json`` at
+    all, so it would silently vanish from the table — 0% coverage
+    reading as "nothing to report".  (``repro.batch`` shipped in the
+    same PR as this check for exactly that reason.)
+    """
+    measured = {package_of(p) for p in report["files"]}
+    repro_dir = src_root / "repro"
+    if not repro_dir.is_dir():
+        return []
+    on_disk = {
+        f"repro.{d.name}"
+        for d in repro_dir.iterdir()
+        if d.is_dir() and (d / "__init__.py").exists()
+    }
+    return sorted(on_disk - measured)
+
+
 def build_rows(report: dict) -> list[tuple[str, int, int, float]]:
     """(package, covered, statements, percent) per package, worst first."""
     covered: dict[str, int] = defaultdict(int)
@@ -75,12 +95,24 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", nargs="?", default="coverage.json",
                         help="path to coverage.py's JSON report")
+    parser.add_argument("--src", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "src",
+                        help="source root checked for unmeasured packages")
     args = parser.parse_args(argv)
     try:
         report = json.loads(Path(args.report).read_text())
     except FileNotFoundError:
         print(f"error: {args.report} not found — run pytest with "
               "--cov-report=json first", file=sys.stderr)
+        return 1
+    absent = missing_packages(report, args.src)
+    if absent:
+        print(
+            "error: packages on disk but absent from the coverage "
+            f"report: {', '.join(absent)} — the measured suite never "
+            "imported them",
+            file=sys.stderr,
+        )
         return 1
     table = render(build_rows(report))
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
