@@ -83,6 +83,17 @@ class NameNode:
         """Whether a block has a replica on ``node_id`` (task locality)."""
         return node_id in self.locate(block_id)
 
+    def blocks_on(self, node_id: int) -> list[str]:
+        """Block ids replicated on ``node_id`` (the inverse of locate).
+
+        Answered by the datanode's own store in O(replicas held), so a
+        scheduler can build per-node candidate sets without scanning the
+        whole placement map.
+        """
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(f"node_id {node_id} out of range")
+        return self.datanodes[node_id].block_ids()
+
     def delete_block(self, block_id: str) -> None:
         """Drop every replica of a block."""
         for node_id in self.locate(block_id):

@@ -118,6 +118,84 @@ class TaskJobCounters:
 RecordReader = Callable[[Block, int], Iterator[KeyValue]]
 
 
+class BlockWorkQueue:
+    """Pending map-task blocks indexed by replica node.
+
+    The locality scheduler's old path scanned the whole pending list
+    per assignment looking for the first block with a local replica —
+    O(blocks) per task, O(blocks²) per job, which dominates large jobs
+    on big clusters.  This queue keeps the global FIFO *and* one
+    per-node FIFO of candidate blocks (built from the namenode's
+    placement in O(blocks × replication)), so a local pick is O(1)
+    amortised: the head of a node's candidate queue *is* the first
+    pending block with a replica there.  Taken blocks are tombstoned
+    and skipped lazily, so every queue preserves exact pending order
+    and the assignment sequence matches the scan's byte for byte.
+
+    The per-node index snapshots placement at construction; the
+    scheduler re-verifies locality against the live namenode before
+    honouring a candidate (a dropped replica is skipped), but blocks
+    that *gain* replicas mid-job are not re-indexed — within a job run
+    placement is fixed, which is the runner's actual usage.
+    """
+
+    def __init__(self, blocks: Sequence[Block], namenode) -> None:
+        self.namenode = namenode
+        self._fifo: deque[Block] = deque(blocks)
+        self._taken: set[str] = set()
+        self._by_node: dict[int, deque[Block]] = {}
+        for block in blocks:
+            for node_id in namenode.locate(block.block_id):
+                self._by_node.setdefault(node_id, deque()).append(block)
+        self._n = len(self._fifo)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __bool__(self) -> bool:
+        return self._n > 0
+
+    def __iter__(self) -> Iterator[Block]:
+        taken = self._taken
+        return (b for b in self._fifo if b.block_id not in taken)
+
+    def _take(self, block: Block) -> Block:
+        self._taken.add(block.block_id)
+        self._n -= 1
+        return block
+
+    def pop_local(self, node_id: int) -> Block | None:
+        """First pending block with a live replica on ``node_id``."""
+        queue = self._by_node.get(node_id)
+        if not queue:
+            return None
+        namenode = self.namenode
+        while queue:
+            block = queue[0]
+            if block.block_id in self._taken:
+                queue.popleft()
+                continue
+            if not namenode.is_local(block.block_id, node_id):
+                # Replica dropped since indexing (node failure).
+                queue.popleft()
+                continue
+            queue.popleft()
+            return self._take(block)
+        return None
+
+    def pop_head(self) -> Block | None:
+        """Oldest pending block (the remote-assignment fallback)."""
+        fifo = self._fifo
+        while fifo:
+            block = fifo[0]
+            if block.block_id in self._taken:
+                fifo.popleft()
+                continue
+            fifo.popleft()
+            return self._take(block)
+        return None
+
+
 def synthetic_record_reader(app: Application, records_per_block: int = 200) -> RecordReader:
     """A record reader generating each block's records from its identity.
 
@@ -173,6 +251,22 @@ class LocalityScheduler:
         if not pending:
             return None
         node = worker % self.hdfs.n_nodes
+        if isinstance(pending, BlockWorkQueue):
+            # Indexed path: the first pending block with a local replica
+            # is the head of the node's candidate queue — O(1) amortised
+            # instead of the O(blocks) scan below, same assignment.
+            block = pending.pop_local(node)
+            if block is not None:
+                self._skips[worker] = 0
+                return block, True
+            skips = self._skips.get(worker, 0)
+            if skips < self.max_skips:
+                self._skips[worker] = skips + 1
+                return None
+            self._skips[worker] = 0
+            head = pending.pop_head()
+            assert head is not None  # pending was non-empty
+            return head, False
         for i, block in enumerate(pending):
             if self.hdfs.namenode.is_local(block.block_id, node):
                 self._skips[worker] = 0
@@ -277,7 +371,9 @@ class TaskJobRunner:
         """
         if reader is None:
             reader = synthetic_record_reader(app)
-        pending = deque(self.hdfs.splits_for(file_name))
+        pending = BlockWorkQueue(
+            self.hdfs.splits_for(file_name), self.hdfs.namenode
+        )
         shuffle = ShuffleService(self.n_reducers)
         attempts: list[MapTaskAttempt] = []
         task_id = 0

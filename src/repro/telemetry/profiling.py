@@ -144,6 +144,12 @@ class EngineTelemetry:
         self.blocks_rereplicated = 0
         self.blocks_lost = 0
         self.nodes_blacklisted = 0
+        # Recorder memory accounting: who is holding interval segments,
+        # per node, under which recorder mode — so a peak_rss movement
+        # in a bench payload is attributable to a specific recorder.
+        self.segments_by_node: dict[int, int] = {}
+        self.segments_dropped_by_node: dict[int, int] = {}
+        self.recorder_modes: dict[int, str] = {}
 
     # -- recording -----------------------------------------------------
     def record_event(self, *, stale: bool = False) -> None:
@@ -197,6 +203,20 @@ class EngineTelemetry:
         """A cache entry whose echoed key disagreed with its slot."""
         self.recontext_rejects += 1
 
+    def record_recorder(self, node_id: int, mode: str) -> None:
+        """Which interval-recorder mode a node's engine runs with."""
+        self.recorder_modes[node_id] = mode
+
+    def record_segment(self, node_id: int) -> None:
+        """One interval segment recorded on ``node_id``."""
+        by_node = self.segments_by_node
+        by_node[node_id] = by_node.get(node_id, 0) + 1
+
+    def record_segments_dropped(self, node_id: int, n: int = 1) -> None:
+        """Segments evicted by a bounded (streaming) recorder."""
+        by_node = self.segments_dropped_by_node
+        by_node[node_id] = by_node.get(node_id, 0) + n
+
     # -- derived -------------------------------------------------------
     @property
     def recontext_hit_rate(self) -> float | None:
@@ -209,6 +229,19 @@ class EngineTelemetry:
     @property
     def live_events(self) -> int:
         return self.events - self.stale_events
+
+    @property
+    def segments_recorded(self) -> int:
+        return sum(self.segments_by_node.values())
+
+    @property
+    def segments_dropped(self) -> int:
+        return sum(self.segments_dropped_by_node.values())
+
+    @property
+    def segments_retained(self) -> int:
+        """Segments still held in recorder memory across all nodes."""
+        return self.segments_recorded - self.segments_dropped
 
     def as_dict(self) -> dict[str, float]:
         """Counter snapshot for :class:`repro.telemetry.registry.
@@ -232,7 +265,20 @@ class EngineTelemetry:
             "blocks_rereplicated": self.blocks_rereplicated,
             "blocks_lost": self.blocks_lost,
             "nodes_blacklisted": self.nodes_blacklisted,
+            "segments_recorded": self.segments_recorded,
+            "segments_dropped": self.segments_dropped,
+            "segments_retained": self.segments_retained,
         }
+        if self.segments_by_node:
+            out["max_node_segments"] = max(self.segments_by_node.values())
+            # Non-numeric entries are visible to as_dict consumers but
+            # intentionally dropped by MetricsRegistry.snapshot.
+            out["segments_by_node"] = dict(sorted(self.segments_by_node.items()))
+        if self.recorder_modes:
+            modes: dict[str, int] = {}
+            for mode in self.recorder_modes.values():
+                modes[mode] = modes.get(mode, 0) + 1
+            out["recorder_modes"] = modes
         rate = self.recontext_hit_rate
         if rate is not None:
             out["recontext_hit_rate"] = rate
@@ -257,6 +303,15 @@ class EngineTelemetry:
         self.blocks_rereplicated += other.blocks_rereplicated
         self.blocks_lost += other.blocks_lost
         self.nodes_blacklisted += other.nodes_blacklisted
+        for node_id, n in other.segments_by_node.items():
+            self.segments_by_node[node_id] = (
+                self.segments_by_node.get(node_id, 0) + n
+            )
+        for node_id, n in other.segments_dropped_by_node.items():
+            self.segments_dropped_by_node[node_id] = (
+                self.segments_dropped_by_node.get(node_id, 0) + n
+            )
+        self.recorder_modes.update(other.recorder_modes)
         return self
 
     def render(self) -> str:
@@ -275,6 +330,15 @@ class EngineTelemetry:
         if self.recontext_rejects:
             lines.append(
                 f"  poisoned entries rejected: {self.recontext_rejects}"
+            )
+        if self.segments_by_node:
+            modes = ", ".join(
+                sorted({m for m in self.recorder_modes.values()})
+            )
+            lines.append(
+                f"  recorders ({modes}): {self.segments_recorded} segment(s) "
+                f"recorded, {self.segments_dropped} dropped, "
+                f"max {max(self.segments_by_node.values())} on one node"
             )
         if self.faults_injected:
             lines.append(

@@ -273,6 +273,67 @@ def _op_scalar_sweep_4096():
     return run
 
 
+def _op_steady_state_256node():
+    from repro.mapreduce.engine import ClusterEngine
+    from repro.workloads.streams import poisson_job_stream
+
+    # A saturated big-cluster stream: 256 nodes, 4000 tuned arrivals at
+    # a 0.2 s mean gap.  This is the shape whose placement path used to
+    # be O(pending × nodes) per event before the free-core index.
+    specs = list(
+        poisson_job_stream(
+            4000, tuned=True, mean_interarrival_s=0.2, job_ids_from=1
+        )
+    )
+
+    def run():
+        cluster = ClusterEngine(n_nodes=256, recorder="off")
+        for s in specs:
+            cluster.submit(s)
+        cluster.run()
+        assert len(cluster.results) == 4000
+
+    return run
+
+
+def _op_placement_100k_jobs():
+    from repro.mapreduce.engine import ClusterEngine
+    from repro.workloads.streams import poisson_job_stream
+
+    # Deep backlog: 100k jobs hitting 64 nodes at 10 ms gaps, so the
+    # pending queue holds tens of thousands of jobs for most of the
+    # run — the pending-membership/removal hot path at full depth.
+    specs = list(
+        poisson_job_stream(
+            100_000, tuned=True, mean_interarrival_s=0.01, job_ids_from=1
+        )
+    )
+
+    def run():
+        cluster = ClusterEngine(n_nodes=64, recorder="off")
+        for s in specs:
+            cluster.submit(s)
+        cluster.run()
+        assert len(cluster.results) == 100_000
+
+    return run
+
+
+def _op_sharded_sweep():
+    from repro.shard import evaluate_scenarios_sharded
+
+    scenarios = _batch_sweep_scenarios()
+
+    def run():
+        outcomes = evaluate_scenarios_sharded(
+            scenarios, backend="batch", workers=2
+        )
+        assert len(outcomes) == 4096
+        assert not any(o.fallback for o in outcomes)
+
+    return run
+
+
 #: op name -> (setup factory, in the quick subset?)
 OPS: dict[str, tuple] = {
     "bench_solo_sweep": (_op_solo_sweep, True),
@@ -285,6 +346,10 @@ OPS: dict[str, tuple] = {
     "bench_scalar_sweep_4096": (_op_scalar_sweep_4096, False),
     "bench_functional_wordcount": (_op_functional_wordcount, False),
     "bench_reptree_predict": (_op_reptree_predict, False),
+    # Scale lane (not in --quick: CI runs these explicitly via --ops).
+    "bench_steady_state_256node": (_op_steady_state_256node, False),
+    "bench_placement_100k_jobs": (_op_placement_100k_jobs, False),
+    "bench_sharded_sweep": (_op_sharded_sweep, False),
 }
 
 
