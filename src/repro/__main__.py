@@ -22,6 +22,12 @@ Commands
     repro on failure.
 ``clear-cache``
     Drop the disk-cached artifacts (forces full rebuilds).
+``serve [--port P] [--nodes N] [--scheduler fifo|ecost] [--clock ...]``
+    Run the always-on job-submission service (asyncio HTTP).
+``submit [--code wc --size-gb 5 | --stream N --seed S]``
+    Submit one job (or a seeded stream) to a running service.
+``service metrics|status|trace|drain|shutdown``
+    Admin calls against a running service.
 """
 
 from __future__ import annotations
@@ -145,6 +151,71 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.config import ServiceConfig
+    from repro.service.server import serve
+
+    overrides = {
+        name: value
+        for name, value in (
+            ("host", args.host),
+            ("port", args.port),
+            ("n_nodes", args.nodes),
+            ("scheduler", args.scheduler),
+            ("clock", args.clock),
+            ("rate_per_s", args.rate),
+            ("burst", args.burst),
+            ("max_inflight", args.max_inflight),
+            ("time_scale", args.time_scale),
+        )
+        if value is not None
+    }
+    serve(ServiceConfig.from_env(**overrides))
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+    from repro.service.requests import seeded_requests
+
+    client = ServiceClient(args.host, args.port)
+    if args.stream:
+        acks = client.submit_batch(
+            seeded_requests(args.stream, seed=args.seed)
+        )
+        accepted = sum(1 for a in acks if a.get("accepted"))
+        print(f"submitted {len(acks)} request(s): {accepted} accepted, "
+              f"{len(acks) - accepted} rejected")
+        return 0
+    from repro.utils.units import GB
+
+    payload = {"code": args.code, "data_bytes": int(args.size_gb * GB)}
+    if args.tenant is not None:
+        payload["tenant"] = args.tenant
+    if args.time is not None:
+        payload["time"] = args.time
+    print(json.dumps(client.submit(payload), indent=2))
+    return 0
+
+
+def _cmd_service(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    result = getattr(client, args.action)()
+    if args.action == "trace" and args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result, fh)
+        print(f"wrote {args.out} ({len(result.get('traceEvents', []))} events)")
+    else:
+        print(json.dumps(result, indent=2))
+    return 0
+
+
 def _cmd_clear_cache(_args) -> int:
     from repro.experiments.artifacts import clear_cache
 
@@ -221,6 +292,47 @@ def main(argv: list[str] | None = None) -> int:
              "the event engine on every scenario (repeatable)",
     )
     p_fuzz.set_defaults(fn=_cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the always-on job-submission service"
+    )
+    p_serve.add_argument("--host", help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, help="bind port (default 8642; 0 = ephemeral)")
+    p_serve.add_argument("--nodes", type=int, help="cluster size (default 8)")
+    p_serve.add_argument("--scheduler", choices=["fifo", "ecost"],
+                         help="placement policy (default fifo)")
+    p_serve.add_argument("--clock", choices=["virtual", "wall"],
+                         help="virtual = deterministic replayable time (default)")
+    p_serve.add_argument("--rate", type=float,
+                         help="per-tenant admission rate (jobs/s, default unlimited)")
+    p_serve.add_argument("--burst", type=float,
+                         help="per-tenant admission burst (default 64)")
+    p_serve.add_argument("--max-inflight", type=int,
+                         help="global accepted-but-unfinished cap")
+    p_serve.add_argument("--time-scale", type=float,
+                         help="wall clock: simulated seconds per real second")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_sub = sub.add_parser("submit", help="submit job(s) to a running service")
+    p_sub.add_argument("--host", default="127.0.0.1")
+    p_sub.add_argument("--port", type=int, default=8642)
+    p_sub.add_argument("--code", default="wc", help="application code (default wc)")
+    p_sub.add_argument("--size-gb", type=float, default=5.0)
+    p_sub.add_argument("--tenant")
+    p_sub.add_argument("--time", type=float,
+                       help="virtual arrival time (virtual-clock services)")
+    p_sub.add_argument("--stream", type=int, metavar="N",
+                       help="submit a seeded N-job stream instead of one job")
+    p_sub.add_argument("--seed", type=int, default=0)
+    p_sub.set_defaults(fn=_cmd_submit)
+
+    p_svc = sub.add_parser("service", help="admin calls against a running service")
+    p_svc.add_argument("action",
+                       choices=["metrics", "status", "trace", "drain", "shutdown"])
+    p_svc.add_argument("--host", default="127.0.0.1")
+    p_svc.add_argument("--port", type=int, default=8642)
+    p_svc.add_argument("--out", help="trace only: write Chrome trace to this path")
+    p_svc.set_defaults(fn=_cmd_service)
 
     sub.add_parser("clear-cache", help="drop cached artifacts").set_defaults(
         fn=_cmd_clear_cache

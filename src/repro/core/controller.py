@@ -81,12 +81,25 @@ class ECoSTController:
         cluster.scheduler = self._schedule
 
     # ------------------------------------------------------------ intake
-    def submit(self, instance: AppInstance, arrival_time: float = 0.0) -> None:
-        """Register an incoming application."""
+    def submit(
+        self,
+        instance: AppInstance,
+        arrival_time: float = 0.0,
+        *,
+        notify: bool = True,
+    ) -> None:
+        """Register an incoming application.
+
+        ``notify=False`` skips scheduling the wake-up event: streaming
+        front ends (``repro.service``) that invoke the scheduler
+        themselves via :meth:`ClusterEngine.wake_now` use it to keep
+        the event order identical to a batch run's.
+        """
         if arrival_time < 0:
             raise ValueError("arrival_time must be >= 0")
         self._arrivals.append(_Arrival(time=arrival_time, instance=instance))
-        self.cluster.notify_at(arrival_time)
+        if notify:
+            self.cluster.notify_at(arrival_time)
 
     def _features(self, instance: AppInstance) -> dict[str, float]:
         """Learning-period features, profiled once per application.

@@ -1240,9 +1240,71 @@ class ClusterEngine:
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown event {kind!r}")
 
+    # ------------------------------------------------- incremental advance
+    # The streaming service (`repro.service`) feeds the engine one
+    # arrival at a time instead of scheduling the whole workload up
+    # front.  Bit-identity with the offline `run()` hinges on event
+    # *order*: offline, every arrival is scheduled before any derived
+    # event, so at a tied timestamp arrivals fire first (lower heap
+    # sequence numbers).  The incremental API reproduces that order by
+    # construction — events strictly before the arrival are drained,
+    # then the arrival is handled directly, ahead of any event queued
+    # at the very same timestamp.
+
+    def advance_until(self, t: float) -> None:
+        """Process every queued event with time strictly before ``t``.
+
+        Events due exactly at ``t`` stay queued: the caller is about to
+        inject an arrival at ``t``, and offline ordering puts arrivals
+        ahead of same-time derived events.
+        """
+        events = self._events
+        while True:
+            nxt = events.peek_time()
+            if nxt is None or nxt >= t:
+                return
+            time, payload = events.pop()  # type: ignore[misc]
+            self._handle(time, payload)
+
+    def inject_arrival(self, spec: JobSpec) -> None:
+        """Deliver one arrival *now*, as streaming ingestion does.
+
+        Equivalent to ``submit(spec)`` followed by processing events up
+        to (and including) the arrival — with the same event order the
+        offline batch run produces, including exact-timestamp ties, so
+        an incrementally fed engine stays bit-identical to an offline
+        engine given the same job sequence.
+        """
+        t = spec.submit_time
+        if t < self._clock - 1e-9:
+            raise ValueError(
+                f"arrival at {t} is in the engine's past ({self._clock})"
+            )
+        self.advance_until(t)
+        self._handle(t, ("arrival", spec))
+
+    def wake_now(self, t: float) -> None:
+        """Run the scheduler at ``t``, after draining events before ``t``.
+
+        The streaming counterpart of :meth:`notify_at` for callers
+        (e.g. the ECoST controller front end) that register arrival
+        state out of band and only need the scheduler invoked in the
+        offline tie order — ahead of derived events queued at ``t``.
+        """
+        if t < self._clock - 1e-9:
+            raise ValueError(
+                f"wake at {t} is in the engine's past ({self._clock})"
+            )
+        self.advance_until(t)
+        self._handle(t, ("wake",))
+
+    def drain_events(self) -> None:
+        """Process every remaining queued event (no stall check)."""
+        self._events.run(self._handle)
+
     def run(self) -> list[JobResult]:
         """Process all events; returns completions in time order."""
-        self._events.run(self._handle)
+        self.drain_events()
         if self.pending or any(n.running for n in self.nodes):
             raise RuntimeError(
                 "simulation stalled with unfinished jobs; "

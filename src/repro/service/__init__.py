@@ -1,0 +1,65 @@
+"""``repro.service`` — the always-on job-submission front end.
+
+Layers (transport-agnostic core first, HTTP on top):
+
+- :mod:`~repro.service.config` — :class:`ServiceConfig` +
+  ``REPRO_SERVICE_*`` environment knobs.
+- :mod:`~repro.service.clock` — virtual (deterministic) vs scaled
+  wall clocks.
+- :mod:`~repro.service.admission` — token-bucket rate limiting and
+  capacity/queue-depth checks.
+- :mod:`~repro.service.tenants` — per-tenant accounting and queues.
+- :mod:`~repro.service.requests` — the submission wire format,
+  edge validation, and the seeded request stream generator.
+- :mod:`~repro.service.core` — :class:`ClusterService`: admit →
+  queue → dispatch → advance over one cluster engine.
+- :mod:`~repro.service.server` / :mod:`~repro.service.client` —
+  the asyncio HTTP listener and its stdlib client.
+
+The determinism contract — a virtual-clock service run is bit-identical
+to an offline batch run on the same accepted job list — is documented
+on :class:`ClusterService` and pinned by ``tests/test_service_soak.py``.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    REJECT_CAPACITY,
+    REJECT_QUEUE_DEPTH,
+    REJECT_RATE_LIMIT,
+    TokenBucket,
+)
+from repro.service.clock import VirtualClock, WallClock, make_clock
+from repro.service.config import ServiceConfig
+from repro.service.core import ClusterService
+from repro.service.requests import (
+    JobRequest,
+    RequestError,
+    parse_request,
+    requests_to_specs,
+    seeded_requests,
+    spec_to_request,
+)
+from repro.service.tenants import TenantRegistry, TenantState
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ClusterService",
+    "JobRequest",
+    "REJECT_CAPACITY",
+    "REJECT_QUEUE_DEPTH",
+    "REJECT_RATE_LIMIT",
+    "RequestError",
+    "ServiceConfig",
+    "TenantRegistry",
+    "TenantState",
+    "TokenBucket",
+    "VirtualClock",
+    "WallClock",
+    "make_clock",
+    "parse_request",
+    "requests_to_specs",
+    "seeded_requests",
+    "spec_to_request",
+]

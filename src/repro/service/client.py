@@ -1,0 +1,81 @@
+"""Stdlib HTTP client for the service (``repro submit`` / admin CLI).
+
+Built on :class:`http.client.HTTPConnection` — one connection per
+request to match the server's ``Connection: close`` discipline.  All
+methods return the decoded JSON payload; non-2xx responses raise
+:class:`ServiceClientError` carrying the server's error message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+
+class ServiceClientError(RuntimeError):
+    """A request the server refused (4xx/5xx) or could not parse."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.server.ServiceServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- plumbing
+    def request(self, method: str, path: str, payload=None):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+        finally:
+            conn.close()
+        try:
+            decoded = json.loads(raw) if raw else None
+        except json.JSONDecodeError:
+            raise ServiceClientError(resp.status, f"non-JSON response: {raw[:200]!r}") from None
+        if resp.status >= 400:
+            message = decoded.get("error", raw.decode(errors="replace")) if isinstance(decoded, dict) else str(decoded)
+            raise ServiceClientError(resp.status, message)
+        return decoded
+
+    # ------------------------------------------------------------ endpoints
+    def submit(self, request: dict) -> dict:
+        return self.request("POST", "/submit", request)
+
+    def submit_batch(self, requests: list[dict]) -> list[dict]:
+        return self.request("POST", "/batch", requests)
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def status(self) -> dict:
+        return self.request("GET", "/status")
+
+    def trace(self) -> dict:
+        return self.request("GET", "/trace")
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def advance(self, time: float) -> dict:
+        return self.request("POST", "/advance", {"time": time})
+
+    def drain(self) -> dict:
+        return self.request("POST", "/drain", {})
+
+    def shutdown(self) -> dict:
+        return self.request("POST", "/shutdown", {})

@@ -1,0 +1,76 @@
+"""Service clocks: deterministic virtual time and scaled wall time.
+
+The service core never reads ``time.time()`` directly — it asks its
+clock.  Two implementations:
+
+* :class:`VirtualClock` — time advances only when told to.  Arrival
+  timestamps come from the request payloads (a seeded stream), so an
+  entire service run is a pure function of its inputs and can be
+  replayed bit-for-bit against the offline engine.
+* :class:`WallClock` — simulated time tracks ``time.monotonic()``
+  scaled by ``time_scale``, for interactive/live deployments where
+  determinism is not required.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class VirtualClock:
+    """Deterministic clock: ``now`` is the largest time ever observed.
+
+    ``observe(t)`` folds an arrival timestamp in; ``advance_to(t)``
+    moves the clock explicitly.  Time never goes backwards — a stale
+    timestamp simply leaves the clock where it was (the service layer
+    decides whether to reject it).
+    """
+
+    deterministic = True
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def observe(self, t: float) -> float:
+        """Fold an external timestamp in; returns the (new) now."""
+        if t > self._now:
+            self._now = float(t)
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        return self.observe(t)
+
+
+class WallClock:
+    """Simulated seconds = (monotonic wall seconds since start) × scale."""
+
+    deterministic = False
+
+    def __init__(self, time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be > 0")
+        self.time_scale = time_scale
+        self._epoch = time.monotonic()
+        self._floor = 0.0  # monotonicity guard across scale edits
+
+    def now(self) -> float:
+        t = (time.monotonic() - self._epoch) * self.time_scale
+        if t > self._floor:
+            self._floor = t
+        return self._floor
+
+    def observe(self, t: float) -> float:
+        """Wall time ignores external timestamps (now is authoritative)."""
+        return self.now()
+
+
+def make_clock(kind: str, *, time_scale: float = 1.0):
+    """Clock factory keyed by :class:`ServiceConfig.clock`."""
+    if kind == "virtual":
+        return VirtualClock()
+    if kind == "wall":
+        return WallClock(time_scale)
+    raise ValueError(f"unknown clock kind {kind!r}; valid: virtual, wall")

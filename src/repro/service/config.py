@@ -1,0 +1,128 @@
+"""Service configuration and its ``REPRO_SERVICE_*`` environment knobs.
+
+Every knob of the always-on cluster service is a field of
+:class:`ServiceConfig` with a matching environment variable, so a
+deployment can be tuned without code: ``ServiceConfig.from_env()``
+starts from the dataclass defaults and applies any ``REPRO_SERVICE_*``
+override it finds.  The test suite pins and restores these variables
+around every test (see ``tests/conftest.py``) — a soak run must not be
+able to leak admission limits into an unrelated test.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace
+
+#: Prefix shared by every service environment knob.
+ENV_PREFIX = "REPRO_SERVICE_"
+
+#: field name -> environment variable (all fields are overridable).
+ENV_KNOBS = {
+    "host": "REPRO_SERVICE_HOST",
+    "port": "REPRO_SERVICE_PORT",
+    "n_nodes": "REPRO_SERVICE_NODES",
+    "recorder": "REPRO_SERVICE_RECORDER",
+    "scheduler": "REPRO_SERVICE_SCHEDULER",
+    "clock": "REPRO_SERVICE_CLOCK",
+    "rate_per_s": "REPRO_SERVICE_RATE",
+    "burst": "REPRO_SERVICE_BURST",
+    "max_inflight": "REPRO_SERVICE_MAX_INFLIGHT",
+    "max_pending": "REPRO_SERVICE_MAX_PENDING",
+    "default_tenant": "REPRO_SERVICE_DEFAULT_TENANT",
+    "time_scale": "REPRO_SERVICE_TIME_SCALE",
+    "pump_interval_s": "REPRO_SERVICE_PUMP_INTERVAL",
+}
+
+_SCHEDULERS = ("fifo", "ecost")
+_CLOCKS = ("virtual", "wall")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """One immutable description of a service deployment.
+
+    Admission is per tenant: ``rate_per_s``/``burst`` parameterise the
+    token bucket, ``max_inflight`` caps a tenant's accepted-but-not-
+    completed jobs, and ``max_pending`` caps the same sum cluster-wide.
+    The defaults are deliberately generous — a seeded replay with
+    admission effectively disabled must accept every job, or the
+    bit-identity comparison against the offline engine is vacuous.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    n_nodes: int = 8
+    recorder: str = "off"
+    scheduler: str = "fifo"  # "fifo" | "ecost"
+    clock: str = "virtual"  # "virtual" | "wall"
+    #: Token-bucket refill rate per tenant (accepted jobs per simulated
+    #: second).  ``inf`` disables rate limiting.
+    rate_per_s: float = float("inf")
+    #: Token-bucket capacity per tenant (burst tolerance).
+    burst: float = 64.0
+    #: Per-tenant cap on accepted-but-not-completed jobs.
+    max_inflight: int = 1_000_000
+    #: Cluster-wide cap on accepted-but-not-completed jobs.
+    max_pending: int = 10_000_000
+    default_tenant: str = "default"
+    #: Wall-clock mode: simulated seconds per wall-clock second.
+    time_scale: float = 1.0
+    #: Wall-clock mode: background dispatch/advance period (seconds).
+    pump_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in _SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {_SCHEDULERS}, got {self.scheduler!r}"
+            )
+        if self.clock not in _CLOCKS:
+            raise ValueError(
+                f"clock must be one of {_CLOCKS}, got {self.clock!r}"
+            )
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be > 0 (use inf to disable)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be > 0")
+        if self.pump_interval_s <= 0:
+            raise ValueError("pump_interval_s must be > 0")
+
+    @classmethod
+    def from_env(cls, env: dict[str, str] | None = None, **overrides) -> "ServiceConfig":
+        """Defaults + ``REPRO_SERVICE_*`` env knobs + explicit overrides.
+
+        Explicit keyword overrides win over the environment, which wins
+        over the dataclass defaults.  Unparseable values raise with the
+        offending variable named.
+        """
+        env = os.environ if env is None else env
+        types = {f.name: f.type for f in fields(cls)}
+        values: dict[str, object] = {}
+        for name, var in ENV_KNOBS.items():
+            raw = env.get(var)
+            if raw is None:
+                continue
+            ftype = types[name]
+            try:
+                if ftype in ("int", int):
+                    values[name] = int(raw)
+                elif ftype in ("float", float):
+                    values[name] = float(raw)
+                else:
+                    values[name] = raw
+            except ValueError:
+                raise ValueError(f"bad value {raw!r} for {var}") from None
+        values.update(overrides)
+        return cls(**values)
+
+    def replace(self, **changes) -> "ServiceConfig":
+        """A copy with ``changes`` applied (convenience for tests)."""
+        return replace(self, **changes)

@@ -1,0 +1,241 @@
+"""Asyncio HTTP front end over a :class:`ClusterService`.
+
+A deliberately small HTTP/1.1 implementation on raw asyncio streams —
+no third-party web framework, connection-per-request (``Connection:
+close``), JSON in and JSON out.  Enough protocol for the CLI client,
+``curl``, and the test suite; the deterministic logic all lives in the
+transport-agnostic core.
+
+Endpoints
+---------
+``POST /submit``
+    One submission request (see :mod:`repro.service.requests`); the
+    response is the service ack.  The request is acked as soon as the
+    admission decision is made — placement and simulation progress
+    happen behind the queue.
+``POST /batch``
+    A JSON list of submission requests; response is the list of acks
+    (one RTT for bulk load generators).
+``GET /metrics``
+    Nested :class:`~repro.telemetry.registry.MetricsRegistry` snapshot
+    (``engine``, ``service``, ``tenants`` namespaces).
+``GET /trace``
+    Chrome-trace JSON of the attached tracer (load in Perfetto).
+``GET /status`` / ``GET /healthz``
+    Live service state / liveness probe.
+``POST /advance`` (virtual clock only)
+    ``{"time": t}`` — advance the simulation to ``t``.
+``POST /drain``
+    Finish every accepted job; responds with the run summary.
+``POST /shutdown``
+    Stop the server loop after responding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service.config import ServiceConfig
+from repro.service.core import ClusterService
+
+#: Largest accepted request body (a 64 MiB batch is ~100k requests).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+async def _read_request(reader: asyncio.StreamReader) -> tuple[str, str, bytes]:
+    """Parse one HTTP/1.1 request: (method, path, body)."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("client closed before sending a request")
+    try:
+        method, target, _version = request_line.decode("latin-1").split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = 0
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "bad Content-Length") from None
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return method.upper(), path, body
+
+
+def _json_body(body: bytes):
+    if not body:
+        raise HttpError(400, "missing JSON body")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise HttpError(400, f"invalid JSON body: {exc}") from None
+
+
+class ServiceServer:
+    """One HTTP listener bound to one :class:`ClusterService`."""
+
+    def __init__(
+        self,
+        service: ClusterService | None = None,
+        *,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        if service is None:
+            service = ClusterService(config or ServiceConfig.from_env())
+        self.service = service
+        self.config = service.config
+        self._server: asyncio.AbstractServer | None = None
+        self._stop = asyncio.Event()
+        self._pump_task: asyncio.Task | None = None
+
+    # ---------------------------------------------------------- lifecycle
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "ServiceServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        if self.config.clock == "wall":
+            self._pump_task = asyncio.ensure_future(self._pump_loop())
+        return self
+
+    async def _pump_loop(self) -> None:
+        """Wall-clock mode: periodically dispatch + advance the engine."""
+        try:
+            while not self._stop.is_set():
+                self.service.pump()
+                await asyncio.sleep(self.config.pump_interval_s)
+        except asyncio.CancelledError:  # pragma: no cover - shutdown race
+            pass
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until ``POST /shutdown`` (or :meth:`stop`)."""
+        assert self._server is not None, "call start() first"
+        await self._stop.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        self._stop.set()
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            self._pump_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------ routing
+    def _route(self, method: str, path: str, body: bytes) -> tuple[int, object]:
+        service = self.service
+        if method == "GET":
+            if path in ("/healthz", "/"):
+                return 200, {"ok": True}
+            if path == "/metrics":
+                return 200, service.metrics_snapshot()
+            if path == "/status":
+                return 200, service.status()
+            if path == "/trace":
+                return 200, service.trace_payload()
+            raise HttpError(404, f"no such endpoint: GET {path}")
+        if method == "POST":
+            if path == "/submit":
+                payload = _json_body(body)
+                return 200, service.submit_request(payload)
+            if path == "/batch":
+                payload = _json_body(body)
+                if not isinstance(payload, list):
+                    raise HttpError(400, "batch body must be a JSON list")
+                return 200, [service.submit_request(p) for p in payload]
+            if path == "/advance":
+                payload = _json_body(body)
+                t = payload.get("time") if isinstance(payload, dict) else None
+                if not isinstance(t, (int, float)) or isinstance(t, bool):
+                    raise HttpError(400, "advance body needs a numeric 'time'")
+                try:
+                    service.advance_to(float(t))
+                except RuntimeError as exc:
+                    raise HttpError(400, str(exc)) from None
+                return 200, {"ok": True, "engine_now": service.cluster.now}
+            if path == "/drain":
+                return 200, service.drain()
+            if path == "/shutdown":
+                self._stop.set()
+                return 200, {"ok": True, "stopping": True}
+            raise HttpError(404, f"no such endpoint: POST {path}")
+        raise HttpError(405, f"method {method} not supported")
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await _read_request(reader)
+                status, payload = self._route(method, path, body)
+            except HttpError as exc:
+                status, payload = exc.status, {"ok": False, "error": exc.message}
+            except ConnectionError:
+                return
+            except Exception as exc:  # pragma: no cover - defensive
+                status, payload = 500, {"ok": False, "error": repr(exc)}
+            data = json.dumps(payload).encode()
+            head = (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            writer.write(head + data)
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+
+async def serve_async(config: ServiceConfig | None = None) -> None:
+    """Start a server from ``config`` and run until shutdown."""
+    server = ServiceServer(config=config)
+    await server.start()
+    print(
+        f"repro.service listening on http://{server.config.host}:{server.port} "
+        f"({server.config.scheduler} scheduler, {server.config.clock} clock, "
+        f"{server.config.n_nodes} nodes)"
+    )
+    await server.serve_until_shutdown()
+
+
+def serve(config: ServiceConfig | None = None) -> None:
+    """Blocking entry point for ``python -m repro serve``."""
+    asyncio.run(serve_async(config))

@@ -28,8 +28,10 @@ _EXPORT_TO_SUBMODULE = {
     "PowerTrace": "wattsup",
     "FEATURE_NAMES": "profiling",
     "profile_features": "profiling",
+    "ServiceTelemetry": "profiling",
     "MetricsRegistry": "registry",
     "cluster_registry": "registry",
+    "service_registry": "registry",
     "Tracer": "tracing",
     "NullTracer": "tracing",
     "NULL_TRACER": "tracing",

@@ -355,6 +355,108 @@ class EngineTelemetry:
         return "\n".join(lines)
 
 
+# ---------------------------------------------------- service telemetry
+class ServiceTelemetry:
+    """Ingestion-path accounting for the streaming cluster service.
+
+    Counts what happened at the service edge (requests, admission
+    outcomes, malformed payloads) and behind it (dispatches into the
+    engine, harvested completions), mirroring the counter/as_dict shape
+    of :class:`EngineTelemetry` so a :class:`repro.telemetry.registry.
+    MetricsRegistry` can expose both side by side under separate
+    namespaces.
+    """
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.malformed = 0
+        self.rejections_by_reason: dict[str, int] = {}
+        self.dispatched = 0
+        self.completed = 0
+        self.advances = 0  # engine advance calls (virtual ticks / pumps)
+
+    # -- recording -----------------------------------------------------
+    def record_request(self) -> None:
+        self.requests += 1
+
+    def record_accept(self) -> None:
+        self.accepted += 1
+
+    def record_reject(self, reason: str) -> None:
+        self.rejected += 1
+        self.rejections_by_reason[reason] = (
+            self.rejections_by_reason.get(reason, 0) + 1
+        )
+
+    def record_malformed(self) -> None:
+        self.malformed += 1
+
+    def record_dispatch(self, n: int = 1) -> None:
+        self.dispatched += n
+
+    def record_complete(self, n: int = 1) -> None:
+        self.completed += n
+
+    def record_advance(self) -> None:
+        self.advances += 1
+
+    # -- derived -------------------------------------------------------
+    @property
+    def accept_rate(self) -> float | None:
+        """accepted / (accepted + rejected), None before any decision."""
+        decided = self.accepted + self.rejected
+        if decided == 0:
+            return None
+        return self.accepted / decided
+
+    @property
+    def inflight(self) -> int:
+        """Accepted jobs not yet harvested as completions."""
+        return self.accepted - self.completed
+
+    def as_dict(self) -> dict[str, float]:
+        """Counter snapshot for :class:`repro.telemetry.registry.
+        MetricsRegistry` (derived rates included when defined)."""
+        out = {
+            "requests": self.requests,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "malformed": self.malformed,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "inflight": self.inflight,
+            "advances": self.advances,
+        }
+        for reason, n in sorted(self.rejections_by_reason.items()):
+            out[f"rejected_{reason}"] = n
+        rate = self.accept_rate
+        if rate is not None:
+            out["accept_rate"] = rate
+        return out
+
+    def render(self) -> str:
+        """Human-readable ingestion summary."""
+        lines = [
+            f"service telemetry: {self.requests} request(s), "
+            f"{self.accepted} accepted, {self.rejected} rejected, "
+            f"{self.malformed} malformed"
+        ]
+        if self.rejections_by_reason:
+            detail = ", ".join(
+                f"{n} {reason}"
+                for reason, n in sorted(self.rejections_by_reason.items())
+            )
+            lines.append(f"  rejections: {detail}")
+        lines.append(
+            f"  engine: {self.dispatched} dispatched, "
+            f"{self.completed} completed, {self.inflight} in flight, "
+            f"{self.advances} advance(s)"
+        )
+        return "\n".join(lines)
+
+
 # ------------------------------------------------------ sweep telemetry
 class SweepTelemetry:
     """Wall-time and cache accounting for fanned-out sweeps.

@@ -143,3 +143,28 @@ def cluster_registry(cluster, *, cache: bool = True) -> MetricsRegistry:
             },
         )
     return registry
+
+
+def service_registry(service, *, cache: bool = False) -> MetricsRegistry:
+    """A registry pre-wired for one streaming service.
+
+    The service's :class:`~repro.telemetry.profiling.ServiceTelemetry`
+    lands under ``service``, its engine's counters under ``engine``,
+    and per-tenant accounting under ``tenants`` (flattened to
+    ``<tenant>_<metric>`` numbers — nested dicts are dropped by
+    :meth:`MetricsRegistry.snapshot`).  This is what the service's
+    ``/metrics`` endpoint serves.
+    """
+
+    def tenant_metrics() -> dict[str, float]:
+        out: dict[str, float] = {}
+        for name, stats in service.tenants.as_dict().items():
+            for key, value in stats.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    out[f"{name}_{key}"] = value
+        return out
+
+    registry = cluster_registry(service.cluster, cache=cache)
+    registry.register("service", service.telemetry)
+    registry.register("tenants", tenant_metrics)
+    return registry

@@ -79,6 +79,48 @@ def isolated_workers():
         os.environ["REPRO_WORKERS"] = saved
 
 
+@pytest.fixture(scope="session", autouse=True)
+def isolated_service_env():
+    """Strip pre-set ``REPRO_SERVICE_*`` knobs for the whole suite.
+
+    Same rationale as ``isolated_workers``: a developer's exported
+    admission limits or scheduler choice must never reshape
+    ``ServiceConfig.from_env()`` inside the service suites.  Restored
+    on exit so the shell is left as found.
+    """
+    from repro.service.config import ENV_PREFIX
+
+    saved = {
+        key: os.environ.pop(key)
+        for key in list(os.environ)
+        if key.startswith(ENV_PREFIX)
+    }
+    yield
+    for key, value in saved.items():
+        os.environ[key] = value
+
+
+@pytest.fixture(autouse=True)
+def service_env_guard():
+    """Snapshot/restore ``REPRO_SERVICE_*`` around every single test.
+
+    Tests that exercise the env-knob path set variables directly; this
+    guard guarantees they cannot leak into a later test even on
+    assertion failure mid-test.
+    """
+    from repro.service.config import ENV_PREFIX
+
+    before = {
+        key: value for key, value in os.environ.items()
+        if key.startswith(ENV_PREFIX)
+    }
+    yield
+    for key in [k for k in os.environ if k.startswith(ENV_PREFIX)]:
+        if key not in before:
+            del os.environ[key]
+    os.environ.update(before)
+
+
 @pytest.fixture(scope="session")
 def node():
     return ATOM_C2758

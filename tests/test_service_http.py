@@ -1,0 +1,170 @@
+"""HTTP round trips against a real asyncio server on an ephemeral port.
+
+One server per module, run in a background thread with its own event
+loop; every test talks to it through the stdlib
+:class:`~repro.service.client.ServiceClient`, exactly as the CLI does.
+The deterministic behaviour is pinned in the transport-free suites —
+these tests cover the wire: routing, error mapping, batch submits, and
+the shutdown handshake.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service import ServiceConfig, seeded_requests
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.server import ServiceServer
+
+pytestmark = pytest.mark.service
+
+
+class ServerThread:
+    """A server + event loop on a daemon thread (ephemeral port)."""
+
+    def __init__(self, config: ServiceConfig):
+        self.server = ServiceServer(config=config)
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._started.set()
+        self.loop.run_until_complete(self.server.serve_until_shutdown())
+        self.loop.close()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        assert self._started.wait(15), "server failed to start"
+        return self
+
+    @property
+    def client(self) -> ServiceClient:
+        return ServiceClient(port=self.server.port)
+
+    def stop(self):
+        if self._thread.is_alive():
+            try:
+                self.client.shutdown()
+            except (ServiceClientError, OSError):  # already stopping
+                pass
+            self._thread.join(10)
+
+
+@pytest.fixture
+def server():
+    thread = ServerThread(ServiceConfig(port=0)).start()
+    yield thread
+    thread.stop()
+
+
+def test_healthz_and_status(server):
+    assert server.client.healthz() == {"ok": True}
+    status = server.client.status()
+    assert status["scheduler"] == "fifo"
+    assert status["clock_mode"] == "virtual"
+    assert status["requests"] == 0
+
+
+def test_submit_roundtrip_and_metrics(server):
+    client = server.client
+    ack = client.submit({"code": "wc", "data_bytes": 10**9, "time": 0.0})
+    assert ack["ok"] and ack["accepted"]
+    acks = client.submit_batch(seeded_requests(40, seed=8))
+    assert sum(1 for a in acks if a["accepted"]) == 40
+    summary = client.drain()
+    assert summary["completed"] == 41
+    metrics = client.metrics()
+    assert metrics["service"]["completed"] == 41
+    assert "engine" in metrics and "tenants" in metrics
+
+
+def test_advance_moves_the_engine(server):
+    client = server.client
+    client.submit({"code": "wc", "data_bytes": 10**9, "time": 0.0})
+    out = client.advance(50_000.0)
+    assert out["ok"] and out["engine_now"] <= 50_000.0
+    assert client.status()["completed"] == 1
+    client.drain()
+
+
+def test_trace_endpoint_shape(server):
+    trace = server.client.trace()
+    assert trace["traceEvents"] == []  # tracer off by default
+
+
+def test_malformed_submission_is_a_clean_ack(server):
+    ack = server.client.submit({"code": "nope", "data_bytes": 1, "time": 0.0})
+    assert ack["ok"] is False and "nope" in ack["error"]
+
+
+def test_error_mapping(server):
+    client = server.client
+    with pytest.raises(ServiceClientError) as err:
+        client.request("GET", "/nope")
+    assert err.value.status == 404
+    with pytest.raises(ServiceClientError) as err:
+        client.request("POST", "/nope", {})
+    assert err.value.status == 404
+    with pytest.raises(ServiceClientError) as err:
+        client.request("DELETE", "/submit", {})
+    assert err.value.status == 405
+    with pytest.raises(ServiceClientError) as err:
+        client.request("POST", "/batch", {"not": "a list"})
+    assert err.value.status == 400
+    with pytest.raises(ServiceClientError) as err:
+        client.request("POST", "/advance", {"time": "tea"})
+    assert err.value.status == 400
+    with pytest.raises(ServiceClientError) as err:
+        client.request("POST", "/submit")  # no body at all
+    assert err.value.status == 400
+
+
+def test_http_stream_matches_direct_core_run(server):
+    """The transport adds nothing: HTTP acks == direct core acks."""
+    from repro.service import ClusterService
+
+    requests = seeded_requests(60, seed=12)
+    http_acks = server.client.submit_batch(requests)
+    http_summary = server.client.drain()
+
+    direct = ClusterService(ServiceConfig())
+    direct_acks = [direct.submit_request(r) for r in requests]
+    direct_summary = direct.drain()
+    assert http_acks == direct_acks
+    assert http_summary == direct_summary
+
+
+def test_shutdown_stops_the_thread():
+    thread = ServerThread(ServiceConfig(port=0)).start()
+    out = thread.client.shutdown()
+    assert out == {"ok": True, "stopping": True}
+    thread._thread.join(10)
+    assert not thread._thread.is_alive()
+
+
+def test_wall_clock_server_pumps_in_background():
+    """Wall mode: submissions complete without any explicit advance."""
+    import time
+
+    config = ServiceConfig(
+        port=0, clock="wall", time_scale=1e6, pump_interval_s=0.01
+    )
+    thread = ServerThread(config).start()
+    try:
+        client = thread.client
+        ack = client.submit({"code": "wc", "data_bytes": 10**9})
+        assert ack["accepted"]
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if client.status()["completed"] == 1:
+                break
+            time.sleep(0.05)
+        assert client.status()["completed"] == 1
+    finally:
+        thread.stop()

@@ -1,0 +1,198 @@
+"""Load/soak harness: the service vs the offline engine, at scale.
+
+The determinism contract under test: a virtual-clock service run is a
+pure function of its request stream, and feeding the jobs it accepted
+to a plain offline :class:`ClusterEngine` (or batch
+:class:`ECoSTController`) reproduces the service's results **bit for
+bit** — energy, makespan, and the full per-job placement sequence.
+
+Three sizes of the same assertion:
+
+* ``test_soak_50k_three_tenants`` — the full soak (50k jobs, 3
+  tenants, admission active), ``slow``-marked for the nightly lane;
+* ``test_replay_identity_10k`` — the acceptance-criterion replay at
+  10k jobs, admission disabled so the comparison covers every job;
+* ``test_smoke_*`` — the same checks at smoke size for the fast lane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.engine import ClusterEngine
+from repro.service import (
+    ClusterService,
+    ServiceConfig,
+    requests_to_specs,
+    seeded_requests,
+)
+
+pytestmark = pytest.mark.service
+
+
+def _result_rows(results):
+    """The full identity tuple per completed job."""
+    return [
+        (r.spec.job_id, r.node_id, r.start_time, r.finish_time, r.energy_joules)
+        for r in results
+    ]
+
+
+def _offline_rows(specs, n_nodes):
+    engine = ClusterEngine(n_nodes)
+    for spec in specs:
+        engine.submit(spec)
+    results = engine.run()
+    makespan = engine.makespan
+    return _result_rows(results), makespan, engine.total_energy(makespan)
+
+
+def _service_run(config, requests):
+    service = ClusterService(config)
+    acks = [service.submit_request(req) for req in requests]
+    summary = service.drain()
+    return service, acks, summary
+
+
+def _soak(n_jobs: int, *, seed: int, config: ServiceConfig, tenants=("t0", "t1", "t2")):
+    """Drive a seeded stream through the service and check everything."""
+    requests = seeded_requests(
+        n_jobs, seed=seed, tenants=tenants, mean_interarrival_s=2.0
+    )
+    service, acks, summary = _service_run(config, requests)
+
+    # --- conservation: accepted == completed, exactly once, nothing else
+    accepted = [
+        (req, ack) for req, ack in zip(requests, acks) if ack.get("accepted")
+    ]
+    assert summary["completed"] == len(accepted) == summary["accepted"]
+    assert summary["inflight"] == 0
+    completed_ids = sorted(r.spec.job_id for r in service.results)
+    assert completed_ids == sorted(ack["job_id"] for _req, ack in accepted)
+    for tenant in service.tenants:
+        assert tenant.inflight == 0
+        assert tenant.accepted == tenant.completed
+
+    # --- queue-depth bounds
+    assert service.tenants.inflight_highwater <= config.max_inflight
+    total_highwater = sum(
+        t.inflight_highwater for t in service.tenants
+    )
+    assert total_highwater >= summary["accepted"] / n_jobs  # sanity: nonzero
+
+    # --- bit-identity vs the offline engine on the accepted job list
+    offline_specs = requests_to_specs([req for req, _ack in accepted])
+    off_rows, off_makespan, off_energy = _offline_rows(
+        offline_specs, config.n_nodes
+    )
+    assert _result_rows(service.results) == off_rows
+    assert service.cluster.makespan == off_makespan
+    assert service.cluster.total_energy(service.cluster.makespan) == off_energy
+    return service, summary
+
+
+# ------------------------------------------------------------ fast lane
+def test_smoke_2k_three_tenants():
+    """Fast-lane miniature of the full soak, admission active."""
+    config = ServiceConfig(n_nodes=8, rate_per_s=2.0, burst=32.0, max_inflight=400)
+    service, summary = _soak(2_000, seed=42, config=config)
+    assert summary["completed"] >= 1_000  # admission passes real traffic
+    assert len(service.tenants) == 3
+
+
+def test_replay_identity_10k():
+    """Acceptance criterion: 10k-job seeded replay, bit-identical.
+
+    Admission is left wide open so *every* job of the stream is in the
+    comparison — the offline engine sees the identical job list.
+    """
+    config = ServiceConfig(n_nodes=16)
+    requests = seeded_requests(
+        10_000, seed=0, tenants=("t0", "t1", "t2"), mean_interarrival_s=1.0
+    )
+    service, acks, summary = _service_run(config, requests)
+    assert all(ack.get("accepted") for ack in acks)
+    assert summary["completed"] == 10_000
+
+    off_rows, off_makespan, off_energy = _offline_rows(
+        requests_to_specs(requests), config.n_nodes
+    )
+    assert _result_rows(service.results) == off_rows
+    assert service.cluster.makespan == off_makespan
+    assert service.cluster.total_energy(service.cluster.makespan) == off_energy
+
+
+def test_smoke_ecost_identity(small_dataset, small_training_instances):
+    """The live-controller path replays bit-identically too.
+
+    Online: each arrival registered with the controller, scheduler
+    woken in arrival order.  Offline: all arrivals pre-registered, one
+    batch run.  Same pairing, same tuning, same placements.  Uses the
+    small fixture pipeline (as ``test_core_controller.py`` does) so the
+    fast lane never pays the full component build.
+    """
+    from repro.analysis.classify import NearestCentroidClassifier
+    from repro.analysis.features import build_feature_matrix
+    from repro.core.controller import ECoSTController
+    from repro.core.stp import MLMSTP
+
+    stp = MLMSTP("reptree").fit(small_dataset)
+    fm = build_feature_matrix(small_training_instances, seed=0)
+    classifier = NearestCentroidClassifier().fit(
+        fm, [i.app_class for i in small_training_instances]
+    )
+
+    def factory(cluster):
+        return ECoSTController(cluster, stp, classifier)
+
+    requests = seeded_requests(150, seed=5, mean_interarrival_s=4.0)
+    config = ServiceConfig(n_nodes=4, scheduler="ecost")
+    service = ClusterService(config, controller_factory=factory)
+    acks = [service.submit_request(req) for req in requests]
+    assert all(ack.get("accepted") for ack in acks)
+    summary = service.drain()
+    assert summary["completed"] == 150
+
+    engine = ClusterEngine(4)
+    controller = factory(engine)
+    for spec in requests_to_specs(requests):
+        controller.submit(spec.instance, spec.submit_time)
+    offline_results = controller.run()
+    # Controller runs re-spec the jobs (self-tuned knobs, fresh ids), so
+    # compare by placement identity rather than job_id.
+    def rows(results):
+        return [
+            (r.spec.instance.label, r.node_id, r.start_time, r.finish_time,
+             r.energy_joules)
+            for r in results
+        ]
+
+    assert rows(service.results) == rows(offline_results)
+    assert service.cluster.makespan == engine.makespan
+    assert (
+        service.cluster.total_energy(service.cluster.makespan)
+        == engine.total_energy(engine.makespan)
+    )
+
+
+# ------------------------------------------------------------ slow lane
+@pytest.mark.slow
+def test_soak_50k_three_tenants():
+    """The full soak: 50k jobs, 3 tenants, live admission control."""
+    config = ServiceConfig(
+        n_nodes=32, rate_per_s=60.0, burst=256.0, max_inflight=20_000
+    )
+    service, summary = _soak(50_000, seed=1337, config=config)
+    assert summary["completed"] >= 45_000
+    assert service.telemetry.requests == 50_000
+
+
+@pytest.mark.slow
+def test_soak_rejecting_regime_stays_conserved():
+    """Under heavy rejection the accepted subset still replays exactly."""
+    config = ServiceConfig(
+        n_nodes=8, rate_per_s=0.5, burst=16.0, max_inflight=200
+    )
+    service, summary = _soak(20_000, seed=7, config=config)
+    assert summary["rejected"] > 0
+    assert summary["completed"] == summary["accepted"]

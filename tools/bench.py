@@ -319,6 +319,29 @@ def _op_placement_100k_jobs():
     return run
 
 
+def _op_service_ingest_10k():
+    from repro.service import ClusterService, ServiceConfig, seeded_requests
+
+    # The full service hot path: 10k pre-generated requests through
+    # parse → admission → tenant accounting → incremental engine
+    # advance, then drain.  Measures the ingestion overhead the service
+    # layers add on top of the raw engine (bench_steady_state_1k).
+    requests = seeded_requests(
+        10_000, seed=0, tenants=("t0", "t1", "t2"), mean_interarrival_s=1.0
+    )
+    config = ServiceConfig(n_nodes=16)
+
+    def run():
+        service = ClusterService(config)
+        for req in requests:
+            service.submit_request(req)
+        summary = service.drain()
+        assert summary["completed"] == 10_000
+        assert summary["inflight"] == 0
+
+    return run
+
+
 def _op_sharded_sweep():
     from repro.shard import evaluate_scenarios_sharded
 
@@ -347,6 +370,7 @@ OPS: dict[str, tuple] = {
     "bench_functional_wordcount": (_op_functional_wordcount, False),
     "bench_reptree_predict": (_op_reptree_predict, False),
     # Scale lane (not in --quick: CI runs these explicitly via --ops).
+    "bench_service_ingest_10k": (_op_service_ingest_10k, False),
     "bench_steady_state_256node": (_op_steady_state_256node, False),
     "bench_placement_100k_jobs": (_op_placement_100k_jobs, False),
     "bench_sharded_sweep": (_op_sharded_sweep, False),
