@@ -28,6 +28,9 @@ Commands
     Submit one job (or a seeded stream) to a running service.
 ``service metrics|status|trace|drain|shutdown``
     Admin calls against a running service.
+``online [--jobs N] [--seed S] [--model ...] [--offline] [--json]``
+    Run the seeded workload-drift scenario with champion/challenger
+    online self-tuning and print the regret/promotion report.
 """
 
 from __future__ import annotations
@@ -216,6 +219,26 @@ def _cmd_service(args) -> int:
     return 0
 
 
+def _cmd_online(args) -> int:
+    import json
+
+    from repro.online.scenario import run_drift_scenario
+
+    report = run_drift_scenario(
+        n_jobs=args.jobs,
+        seed=args.seed,
+        n_nodes=args.nodes,
+        model_kind=args.model,
+        online=not args.offline,
+        crash=not args.no_crash,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0
+
+
 def _cmd_clear_cache(_args) -> int:
     from repro.experiments.artifacts import clear_cache
 
@@ -333,6 +356,22 @@ def main(argv: list[str] | None = None) -> int:
     p_svc.add_argument("--port", type=int, default=8642)
     p_svc.add_argument("--out", help="trace only: write Chrome trace to this path")
     p_svc.set_defaults(fn=_cmd_service)
+
+    p_online = sub.add_parser(
+        "online", help="run the seeded online self-tuning drift scenario"
+    )
+    p_online.add_argument("--jobs", type=int, default=64)
+    p_online.add_argument("--seed", type=int, default=0)
+    p_online.add_argument("--nodes", type=int, default=4)
+    p_online.add_argument("--model", default="reptree",
+                          choices=["lr", "reptree", "mlp"])
+    p_online.add_argument("--offline", action="store_true",
+                          help="run the same stream without online tuning")
+    p_online.add_argument("--no-crash", action="store_true",
+                          help="skip the node crash/recovery injection")
+    p_online.add_argument("--json", action="store_true",
+                          help="emit the full report as JSON")
+    p_online.set_defaults(fn=_cmd_online)
 
     sub.add_parser("clear-cache", help="drop cached artifacts").set_defaults(
         fn=_cmd_clear_cache

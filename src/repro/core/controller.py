@@ -78,6 +78,12 @@ class ECoSTController:
         self.relearn_count = 0
         #: Shared with the cluster: controller decisions land on pid 0.
         self.tracer = getattr(cluster, "tracer", NULL_TRACER)
+        #: Online self-tuning seam: predictors that expose completion
+        #: hooks (``repro.online``) receive every pairing decision and
+        #: job completion.  Plain STP backends leave this None and the
+        #: scheduling path is byte-identical to the offline controller.
+        self._online = stp if callable(getattr(stp, "on_complete", None)) else None
+        self._observed_results = 0
         cluster.scheduler = self._schedule
 
     # ------------------------------------------------------------ intake
@@ -150,7 +156,16 @@ class ECoSTController:
             data_bytes=qa.instance.data_bytes,
         )
 
-    def _running_descriptor(self, engine: NodeEngine) -> AppDescriptor:
+    def _running_descriptor(self, engine: NodeEngine) -> AppDescriptor | None:
+        """Descriptor of the node's single running job.
+
+        Returns None when the running list is empty — the fault layer
+        can kill or blacklist a node's job between the schedulability
+        check and the descriptor build, and that candidate must be
+        skipped rather than crash the scheduler.
+        """
+        if not engine.running:
+            return None
         running = engine.running[0]
         feats = self._features(running.spec.instance)
         return AppDescriptor(
@@ -181,20 +196,24 @@ class ECoSTController:
         cluster shape, so the controller re-enters the learning period:
         the memoized profiles are dropped and every queued or future
         application is re-profiled before its next pairing decision.
+        When the STP backend can relearn (``repro.online``), its model
+        state is refit too — the log below used to claim a relearn
+        while the model silently stayed stale.
         """
         self._features_memo.clear()
         self.relearn_count += 1
+        refit = getattr(self.stp, "refit", None)
+        refitted = callable(refit) and bool(refit(t=t, reason="cluster-change"))
         self.decisions.append(
             f"t={t:8.1f}s cluster: {len(alive_node_ids)} node(s) live; "
             f"re-entering learning period"
+            + (" (STP refit)" if refitted else "")
         )
         if self.tracer.enabled:
-            self.tracer.instant(
-                "relearn",
-                "controller",
-                t,
-                args={"alive_nodes": len(alive_node_ids)},
-            )
+            args = {"alive_nodes": len(alive_node_ids)}
+            if refitted:
+                args["stp_refit"] = True
+            self.tracer.instant("relearn", "controller", t, args=args)
 
     # --------------------------------------------------------- scheduling
     def _cap_mappers(self, cfg: JobConfig, free: int) -> JobConfig:
@@ -204,7 +223,7 @@ class ECoSTController:
             frequency=cfg.frequency, block_size=cfg.block_size, n_mappers=free
         )
 
-    def _place(self, qa: QueuedApp, cfg: JobConfig, node_id: int, t: float) -> None:
+    def _place(self, qa: QueuedApp, cfg: JobConfig, node_id: int, t: float) -> JobSpec:
         spec = JobSpec(instance=qa.instance, config=cfg, submit_time=qa.arrival_time)
         self.cluster.pending.append(spec)
         self.cluster.place(spec, node_id)
@@ -225,8 +244,47 @@ class ECoSTController:
                     "waited_s": t - qa.arrival_time,
                 },
             )
+        return spec
+
+    def notify_completions(self) -> None:
+        """Feed newly completed jobs to the online tuner.
+
+        No-op for plain STP backends.  Safe to call from several
+        harvest paths (the scheduler itself and ``repro.service``):
+        the cursor plus the tuner's idempotent completion matching
+        make double delivery harmless.
+        """
+        if self._online is None:
+            return
+        results = self.cluster.results
+        n = len(results)
+        for result in results[self._observed_results : n]:
+            self._online.on_complete(result)
+        self._observed_results = n
+
+    def _note_pairing(
+        self,
+        t: float,
+        run_desc: AppDescriptor,
+        run_spec: JobSpec,
+        partner_desc: AppDescriptor,
+        partner_spec: JobSpec,
+    ) -> None:
+        self._online.note_pairing(
+            t=t,
+            desc_a=run_desc,
+            desc_b=partner_desc,
+            inst_a=run_spec.instance,
+            inst_b=partner_spec.instance,
+            job_a=run_spec.job_id,
+            job_b=partner_spec.job_id,
+        )
 
     def _schedule(self, cluster: ClusterEngine, t: float) -> None:
+        # Absorb completions first so the online tuner (when present)
+        # is as current as possible before new pairing decisions.
+        if self._online is not None:
+            self.notify_completions()
         # Move due arrivals through classification into the wait queue.
         for arr in self._arrivals:
             if not arr.queued and arr.time <= t + 1e-9:
@@ -245,6 +303,11 @@ class ECoSTController:
                     continue
                 if len(engine.running) == 1 and engine.free_cores >= 1:
                     run_desc = self._running_descriptor(engine)
+                    if run_desc is None:
+                        # The job vanished under us (crash/blacklist
+                        # race) — skip this candidate.
+                        continue
+                    run_spec = engine.running[0].spec
                     partner = self.pairing.choose_partner(
                         self.queue, run_desc.app_class, allow_leap=True
                     )
@@ -265,11 +328,16 @@ class ECoSTController:
                     # The running job's knobs are already committed; the
                     # newcomer takes its side of the predicted pair
                     # configuration, capped to the free cores.
+                    partner_desc = self._descriptor(partner)
                     _cfg_run, cfg_new = self.stp.predict_configs(
-                        run_desc, self._descriptor(partner)
+                        run_desc, partner_desc
                     )
                     cfg_new = self._cap_mappers(cfg_new, engine.free_cores)
-                    self._place(partner, cfg_new, engine.node_id, t)
+                    new_spec = self._place(partner, cfg_new, engine.node_id, t)
+                    if self._online is not None:
+                        self._note_pairing(
+                            t, run_desc, run_spec, partner_desc, new_spec
+                        )
                     progress = True
             for engine in cluster.nodes:
                 if len(self.queue) == 0:
@@ -297,13 +365,21 @@ class ECoSTController:
                                     "partner_class": partner.app_class.value,
                                 },
                             )
+                        head_desc = self._descriptor(head)
+                        partner_desc = self._descriptor(partner)
                         cfg_a, cfg_b = self.stp.predict_configs(
-                            self._descriptor(head), self._descriptor(partner)
+                            head_desc, partner_desc
                         )
                         cfg_a = self._cap_mappers(cfg_a, self.node.n_cores - 1)
-                        self._place(head, cfg_a, engine.node_id, t)
+                        head_spec = self._place(head, cfg_a, engine.node_id, t)
                         cfg_b = self._cap_mappers(cfg_b, engine.free_cores)
-                        self._place(partner, cfg_b, engine.node_id, t)
+                        partner_spec = self._place(
+                            partner, cfg_b, engine.node_id, t
+                        )
+                        if self._online is not None:
+                            self._note_pairing(
+                                t, head_desc, head_spec, partner_desc, partner_spec
+                            )
                     else:
                         # Last lonely job: tune it as a pair with itself
                         # (it may later receive a partner anyway).
@@ -318,6 +394,9 @@ class ECoSTController:
         results = self.cluster.run()
         if len(self.queue) or any(not a.queued for a in self._arrivals):
             raise RuntimeError("ECoST finished with applications still queued")
+        # Trailing completions (after the last scheduler wake-up) still
+        # count as telemetry for the online tuner.
+        self.notify_completions()
         return results
 
     # ---------------------------------------------------------- factories

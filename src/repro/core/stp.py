@@ -192,6 +192,24 @@ def _row_block(
 N_MODEL_FEATURES = 2 * len(REDUCED_FEATURE_NAMES) + 2 + 6
 
 
+def _validate_edp_targets(y: np.ndarray, context: str) -> None:
+    """EDP targets must survive the log transform.
+
+    A non-positive or non-finite EDP row would silently become
+    ``-inf``/``nan`` under ``np.log`` and poison the fitted model far
+    from the bad row; fail fast and name the offender instead.
+    """
+    y = np.asarray(y, dtype=float)
+    bad = np.flatnonzero(~np.isfinite(y) | (y <= 0.0))
+    if bad.size:
+        i = int(bad[0])
+        raise ValueError(
+            f"{context}: EDP targets must be finite and > 0 for log-space "
+            f"training; row {i} has y={y[i]!r} "
+            f"({bad.size} offending row(s) in total)"
+        )
+
+
 @dataclass
 class TrainingDataset:
     """Per-class-pair training rows for the MLM models."""
@@ -393,6 +411,7 @@ class MLMSTP:
 
     def fit(self, dataset: TrainingDataset) -> "MLMSTP":
         """Train on log-EDP: per class pair and/or the global model."""
+        _validate_edp_targets(dataset.y, "MLMSTP.fit")
         y_log = np.log(dataset.y)
         if self.scope == "per-class":
             for code in dataset.class_pairs:
@@ -536,9 +555,9 @@ class SoloSTP:
                 )
             )
             y_rows.append(sweep.edp)
-        self.model_ = self._factory().fit(
-            np.vstack(X_rows), np.log(np.concatenate(y_rows))
-        )
+        y_all = np.concatenate(y_rows)
+        _validate_edp_targets(y_all, "SoloSTP.fit")
+        self.model_ = self._factory().fit(np.vstack(X_rows), np.log(y_all))
         self._train_features = np.vstack(feats)
         self._train_sizes = np.asarray(sizes)
         return self

@@ -10,15 +10,25 @@ paired recoveries) and straggler slowdowns from one seed, and
 re-execution, speculative duplicates with first-finisher-wins, HDFS
 re-replication, and flapping-node blacklisting.  With an empty plan a
 run is byte-identical to a healthy one — the golden suites pin this.
+
+:mod:`repro.faults.drift` adds the workload-side counterpart: seeded
+piecewise workload-mix schedules whose arrival streams shift to
+unseen applications or input sizes at known times — the drift
+generator the online self-tuning layer (:mod:`repro.online`) is
+evaluated against.
 """
 
+from repro.faults.drift import DriftSchedule, MixSegment, drifted_arrivals
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultMix, InjectionPlan
 
 __all__ = [
     "FAULT_KINDS",
+    "DriftSchedule",
     "FaultEvent",
     "FaultInjector",
     "FaultMix",
     "InjectionPlan",
+    "MixSegment",
+    "drifted_arrivals",
 ]

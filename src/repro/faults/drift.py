@@ -1,0 +1,114 @@
+"""Seeded workload-mix drift: the change the online tuner must chase.
+
+Node crashes (:mod:`repro.faults.plan`) change the *cluster*; this
+module changes the *workload*.  A :class:`DriftSchedule` is a
+piecewise-constant workload mix — each segment names the application
+codes and input sizes arrivals draw from — and
+:func:`drifted_arrivals` materialises a deterministic Poisson arrival
+stream through it.  The canonical scenario is a single
+:meth:`DriftSchedule.workload_shift`: training-like applications
+before the shift, unseen applications (or unseen input sizes) after
+it, so an offline-trained STP starts mispredicting at a known time.
+
+Everything derives from one seed via :func:`~repro.utils.rng.
+derive_rng`; the stream is independent of any other seeded draw in a
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.utils.rng import SeedLike, derive_rng
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import get_app
+
+
+@dataclass(frozen=True)
+class MixSegment:
+    """One constant-mix stretch of the arrival stream."""
+
+    start_time: float
+    codes: tuple[str, ...]
+    sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise ValueError("segment start_time must be >= 0")
+        if not self.codes or not self.sizes:
+            raise ValueError("a mix segment needs at least one code and size")
+        for code in self.codes:
+            get_app(code)  # validate eagerly — raises KeyError on typos
+
+
+@dataclass(frozen=True)
+class DriftSchedule:
+    """A piecewise-constant workload mix over time."""
+
+    segments: tuple[MixSegment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("schedule needs at least one segment")
+        if self.segments[0].start_time != 0.0:
+            raise ValueError("the first segment must start at t=0")
+        starts = [s.start_time for s in self.segments]
+        if starts != sorted(starts) or len(set(starts)) != len(starts):
+            raise ValueError("segment start times must strictly increase")
+
+    def segment_at(self, t: float) -> MixSegment:
+        """The mix in force at time ``t``."""
+        current = self.segments[0]
+        for segment in self.segments[1:]:
+            if t < segment.start_time:
+                break
+            current = segment
+        return current
+
+    @classmethod
+    def workload_shift(
+        cls,
+        shift_time: float,
+        *,
+        before_codes: Sequence[str],
+        before_sizes: Sequence[int],
+        after_codes: Sequence[str],
+        after_sizes: Sequence[int],
+    ) -> "DriftSchedule":
+        """The canonical two-segment drift: one mix shift at a known time."""
+        return cls(
+            segments=(
+                MixSegment(0.0, tuple(before_codes), tuple(before_sizes)),
+                MixSegment(shift_time, tuple(after_codes), tuple(after_sizes)),
+            )
+        )
+
+
+def drifted_arrivals(
+    n_jobs: int,
+    schedule: DriftSchedule,
+    *,
+    seed: SeedLike = 0,
+    mean_interarrival_s: float = 6.0,
+) -> list[tuple[float, AppInstance]]:
+    """A deterministic Poisson arrival stream through the schedule.
+
+    Returns ``(arrival_time, instance)`` pairs; each arrival draws its
+    application and input size from the mix segment in force at its
+    arrival time.
+    """
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    if mean_interarrival_s <= 0:
+        raise ValueError("mean_interarrival_s must be > 0")
+    rng = derive_rng(seed, "drifted-arrivals")
+    t = 0.0
+    out: list[tuple[float, AppInstance]] = []
+    for _ in range(n_jobs):
+        t += float(rng.exponential(mean_interarrival_s))
+        segment = schedule.segment_at(t)
+        code = segment.codes[int(rng.integers(len(segment.codes)))]
+        size = segment.sizes[int(rng.integers(len(segment.sizes)))]
+        out.append((t, AppInstance(get_app(code), int(size))))
+    return out

@@ -1,0 +1,41 @@
+"""Online self-tuning: incremental STP updates under workload drift.
+
+ECoST's STP is fit offline; this package is the production
+counterpart — the controller keeps learning while it schedules:
+
+* :class:`~repro.online.updates.OnlineRidge` — rank-1
+  Sherman–Morrison updates for the ridge linear model, exact against
+  a batch refit;
+* :class:`~repro.online.stp.OnlineSTP` — wraps a fitted
+  :class:`~repro.core.stp.MLMSTP` with ``partial_fit`` from live
+  job-completion telemetry, a Page–Hinkley drift detector on log-EDP
+  residuals, and a bounded sliding-window ``refit`` that re-enters
+  the learning period (bounded re-sweeps of the recently observed
+  pairings) — the real implementation behind
+  ``ECoSTController.on_cluster_change``;
+* :class:`~repro.online.shadow.ShadowSTP` — champion/challenger
+  shadow mode: the frozen offline model and the online learner score
+  every pairing decision on the same stream, compared on cumulative
+  EDP regret, with a deterministic sticky promotion rule.
+
+:mod:`repro.online.scenario` packages the seeded drift scenario
+(workload-mix shift from :mod:`repro.faults.drift` plus a node
+crash/recovery) used by the CLI, the benchmark suite, and the tests.
+"""
+
+from repro.online.drift import PageHinkley
+from repro.online.shadow import PairScorer, PromotionPolicy, ShadowSTP
+from repro.online.stp import OnlineSTP, PairObservation, PairingBook
+from repro.online.updates import OnlineRidge, SlidingWindow
+
+__all__ = [
+    "OnlineRidge",
+    "OnlineSTP",
+    "PageHinkley",
+    "PairObservation",
+    "PairScorer",
+    "PairingBook",
+    "PromotionPolicy",
+    "ShadowSTP",
+    "SlidingWindow",
+]

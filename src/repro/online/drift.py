@@ -1,0 +1,61 @@
+"""Page–Hinkley drift detection on log-EDP prediction residuals.
+
+The online STP feeds the detector ``|predicted − observed|`` log-EDP
+per completed pairing.  Under a stable workload the residual
+magnitude hovers around the model's training error; when the mix
+shifts to applications or input sizes the model has never seen, the
+residuals jump and stay high.  Page–Hinkley accumulates the deviation
+of each residual from its running mean (minus a drift allowance
+``delta``) and alarms when the accumulator rises ``threshold`` above
+its running minimum — the classic sequential change-point test, fully
+deterministic for a given residual sequence.
+"""
+
+from __future__ import annotations
+
+
+class PageHinkley:
+    """Sequential change detection for a stream of non-negative values."""
+
+    def __init__(
+        self,
+        *,
+        delta: float = 0.1,
+        threshold: float = 1.0,
+        burn_in: int = 4,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be > 0")
+        if delta < 0:
+            raise ValueError("delta must be >= 0")
+        if burn_in < 0:
+            raise ValueError("burn_in must be >= 0")
+        self.delta = delta
+        self.threshold = threshold
+        self.burn_in = burn_in
+        self.alarms = 0
+        self.samples = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart the test (called automatically after each alarm)."""
+        self._n = 0
+        self._mean = 0.0
+        self._cum = 0.0
+        self._cum_min = 0.0
+
+    def update(self, value: float) -> bool:
+        """Feed one residual; True when a change point is declared."""
+        x = float(value)
+        self.samples += 1
+        self._n += 1
+        self._mean += (x - self._mean) / self._n
+        self._cum += x - self._mean - self.delta
+        self._cum_min = min(self._cum_min, self._cum)
+        if self._n <= self.burn_in:
+            return False
+        if self._cum - self._cum_min > self.threshold:
+            self.alarms += 1
+            self.reset()
+            return True
+        return False

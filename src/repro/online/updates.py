@@ -1,0 +1,116 @@
+"""Incremental model-update primitives for the online STP.
+
+Two update rules, matched to the two model families the STP uses:
+
+* :class:`OnlineRidge` — recursive least squares for the linear
+  model.  Maintains the inverse Gram matrix of the augmented design
+  and folds each new row in with a rank-1 Sherman–Morrison update, so
+  after any sequence of ``partial_fit`` calls the coefficients equal
+  a batch :class:`~repro.ml.linreg.LinearRegression` refit on the
+  union of all rows (to numerical precision — pinned by tests).
+* :class:`SlidingWindow` — a bounded row buffer for the models that
+  have no exact incremental form (REPTree, MLP): new rows displace
+  the oldest ones and the model is refit on the window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_X, check_Xy
+
+
+class OnlineRidge:
+    """Ridge regression with exact rank-1 (RLS) updates.
+
+    The intercept rides as an un-penalised augmented column, exactly
+    as :class:`~repro.ml.linreg.LinearRegression` solves it, so a
+    batch fit and an incremental fit agree row for row.
+    """
+
+    def __init__(self, lam: float = 1e-6) -> None:
+        if lam <= 0:
+            raise ValueError("lam must be > 0 (the Gram inverse must exist)")
+        self.lam = lam
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+        self._gram_inv: np.ndarray | None = None  # (d+1, d+1)
+        self._xty: np.ndarray | None = None  # (d+1,)
+        self.n_rows_ = 0
+
+    # ------------------------------------------------------------ batch
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OnlineRidge":
+        X, y = check_Xy(X, y)
+        n, d = X.shape
+        A = np.hstack([X, np.ones((n, 1))])
+        reg = self.lam * np.eye(d + 1)
+        reg[-1, -1] = 0.0  # the intercept is not penalised
+        self._gram_inv = np.linalg.inv(A.T @ A + reg)
+        self._xty = A.T @ y
+        self.n_rows_ = n
+        self._refresh_weights()
+        return self
+
+    # ------------------------------------------------------ incremental
+    def partial_fit(self, x: np.ndarray, y: float) -> "OnlineRidge":
+        """Fold one row in via the Sherman–Morrison identity."""
+        if self._gram_inv is None or self._xty is None:
+            raise RuntimeError("OnlineRidge.partial_fit requires an initial fit")
+        x = np.asarray(x, dtype=float).reshape(-1)
+        if x.shape[0] != self._xty.shape[0] - 1:
+            raise ValueError(
+                f"expected {self._xty.shape[0] - 1} features, got {x.shape[0]}"
+            )
+        if not (np.all(np.isfinite(x)) and np.isfinite(y)):
+            raise ValueError("partial_fit row must be finite")
+        a = np.append(x, 1.0)
+        ginv_a = self._gram_inv @ a
+        denom = 1.0 + float(a @ ginv_a)
+        self._gram_inv -= np.outer(ginv_a, ginv_a) / denom
+        self._xty += a * float(y)
+        self.n_rows_ += 1
+        self._refresh_weights()
+        return self
+
+    def _refresh_weights(self) -> None:
+        w = self._gram_inv @ self._xty
+        self.coef_ = w[:-1]
+        self.intercept_ = float(w[-1])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None or self.intercept_ is None:
+            raise RuntimeError("model is not fitted")
+        X = check_X(X, self.coef_.shape[0])
+        return X @ self.coef_ + self.intercept_
+
+
+class SlidingWindow:
+    """A bounded (X, y) row buffer: newest rows displace the oldest."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rows: list[np.ndarray] = []
+        self._targets: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def extend(self, X: np.ndarray, y: np.ndarray) -> None:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if len(X) != len(y):
+            raise ValueError("X and y row counts differ")
+        for row, target in zip(X, y):
+            self._rows.append(np.array(row, dtype=float))
+            self._targets.append(float(target))
+        overflow = len(self._rows) - self.capacity
+        if overflow > 0:
+            del self._rows[:overflow]
+            del self._targets[:overflow]
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self._rows:
+            raise RuntimeError("sliding window is empty")
+        return np.vstack(self._rows), np.asarray(self._targets, dtype=float)

@@ -226,6 +226,12 @@ class ClusterService:
                 self.tenants.get(name).on_complete()
         self._harvested = n
         self.telemetry.record_complete(fresh)
+        if self.controller is not None:
+            # Live ECoST path: completion telemetry also feeds the
+            # online self-tuner (no-op for plain STP backends).
+            notify = getattr(self.controller, "notify_completions", None)
+            if callable(notify):
+                notify()
 
     def pump(self) -> int:
         """Wall-mode tick: dispatch buffered jobs, advance to now.

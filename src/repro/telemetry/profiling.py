@@ -457,6 +457,72 @@ class ServiceTelemetry:
         return "\n".join(lines)
 
 
+# ----------------------------------------------------- online telemetry
+class OnlineTelemetry:
+    """Counters for the online self-tuning layer (``repro.online``).
+
+    One object is shared between an :class:`repro.online.stp.OnlineSTP`
+    (updates, refits, drift alarms, learning-period re-sweeps) and the
+    :class:`repro.online.shadow.ShadowSTP` wrapped around it (scored
+    decisions, cumulative EDP regret per contender, promotion), so the
+    ``online`` registry namespace exposes the whole layer at once.
+    """
+
+    def __init__(self) -> None:
+        self.updates = 0  # telemetry rows folded into the model
+        self.refits = 0  # full window refits (drift / cluster change)
+        self.drift_alarms = 0
+        self.relearn_sweeps = 0  # learning-period pair re-sweeps
+        self.tuned_hits = 0  # predictions served from swept-pair entries
+        self.skipped_rows = 0  # non-positive / non-finite observed EDP
+        self.noisy_rows = 0  # unsynchronized pairings: detector-only
+        self.window_rows = 0
+        self.decisions = 0  # pairing decisions scored in shadow mode
+        self.promotions = 0
+        self.promoted_at = -1  # decision index; -1 while unpromoted
+        self.champion_regret = 0.0  # cumulative EDP regret (J·s)
+        self.challenger_regret = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Counter snapshot for :class:`repro.telemetry.registry.
+        MetricsRegistry`."""
+        return {
+            "updates": self.updates,
+            "refits": self.refits,
+            "drift_alarms": self.drift_alarms,
+            "relearn_sweeps": self.relearn_sweeps,
+            "tuned_hits": self.tuned_hits,
+            "skipped_rows": self.skipped_rows,
+            "noisy_rows": self.noisy_rows,
+            "window_rows": self.window_rows,
+            "decisions": self.decisions,
+            "promotions": self.promotions,
+            "promoted_at": self.promoted_at,
+            "champion_regret": self.champion_regret,
+            "challenger_regret": self.challenger_regret,
+        }
+
+    def render(self) -> str:
+        """Human-readable online-tuning summary."""
+        lines = [
+            f"online telemetry: {self.updates} update(s), "
+            f"{self.refits} refit(s), {self.drift_alarms} drift alarm(s), "
+            f"{self.relearn_sweeps} learning sweep(s)"
+        ]
+        if self.decisions:
+            state = (
+                f"promoted at decision {self.promoted_at}"
+                if self.promoted_at >= 0
+                else "champion active"
+            )
+            lines.append(
+                f"  shadow: {self.decisions} decision(s), {state}; "
+                f"cumulative regret champion={self.champion_regret:.3g} "
+                f"challenger={self.challenger_regret:.3g}"
+            )
+        return "\n".join(lines)
+
+
 # ------------------------------------------------------ sweep telemetry
 class SweepTelemetry:
     """Wall-time and cache accounting for fanned-out sweeps.

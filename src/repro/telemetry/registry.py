@@ -167,4 +167,16 @@ def service_registry(service, *, cache: bool = False) -> MetricsRegistry:
     registry = cluster_registry(service.cluster, cache=cache)
     registry.register("service", service.telemetry)
     registry.register("tenants", tenant_metrics)
+    attach_online(registry, getattr(service, "controller", None))
+    return registry
+
+
+def attach_online(registry: MetricsRegistry, controller) -> MetricsRegistry:
+    """Register the ``online`` namespace when the controller's STP
+    carries online-tuning telemetry (``repro.online``); no-op — and no
+    namespace — otherwise, so offline snapshots keep their shape.
+    """
+    telemetry = getattr(getattr(controller, "stp", None), "telemetry", None)
+    if telemetry is not None and callable(getattr(telemetry, "as_dict", None)):
+        registry.register("online", telemetry)
     return registry

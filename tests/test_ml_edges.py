@@ -236,3 +236,47 @@ class TestModelEdges:
             MLPRegressor(lr=0.0)
         with pytest.raises(ValueError, match="epochs and batch_size"):
             MLPRegressor(epochs=0)
+
+
+# -------------------------------------------- log-space EDP targets
+class TestEdpTargetValidation:
+    """``MLMSTP.fit``/``SoloSTP.fit`` train on ``log(y)``: a zero,
+    negative, or non-finite EDP row used to become ``-inf``/``nan``
+    silently and poison the model far from the bad row.  Both now
+    fail fast and name the first offender."""
+
+    def test_mlm_fit_rejects_nonpositive_targets(self, small_dataset):
+        import dataclasses
+
+        from repro.core.stp import MLMSTP
+
+        bad_y = np.array(small_dataset.y, copy=True)
+        bad_y[7] = 0.0
+        bad_y[11] = -2.5
+        poisoned = dataclasses.replace(small_dataset, y=bad_y)
+        with pytest.raises(ValueError, match=r"MLMSTP\.fit.*row 7"):
+            MLMSTP("reptree").fit(poisoned)
+
+    def test_mlm_fit_rejects_non_finite_targets(self, small_dataset):
+        import dataclasses
+
+        from repro.core.stp import MLMSTP
+
+        bad_y = np.array(small_dataset.y, copy=True)
+        bad_y[3] = np.nan
+        poisoned = dataclasses.replace(small_dataset, y=bad_y)
+        with pytest.raises(ValueError, match="row 3"):
+            MLMSTP("lr").fit(poisoned)
+
+    def test_offender_count_reported(self):
+        from repro.core.stp import _validate_edp_targets
+
+        with pytest.raises(ValueError, match=r"row 1.*3 offending row\(s\)"):
+            _validate_edp_targets(
+                np.array([1.0, -1.0, np.inf, 2.0, 0.0]), "MLMSTP.fit"
+            )
+
+    def test_clean_targets_pass(self):
+        from repro.core.stp import _validate_edp_targets
+
+        _validate_edp_targets(np.array([1e-12, 1.0, 1e12]), "SoloSTP.fit")

@@ -1,0 +1,243 @@
+"""OnlineSTP behaviour: incremental updates, relearn, controller seams.
+
+Covers the two bugfixes this layer grew out of:
+
+* ``ECoSTController.on_cluster_change`` used to log "re-entering
+  learning period" while the model silently stayed stale — with an
+  online backend the refit is real, and a post-crash pairing decision
+  for a drifted pair differs from (and beats) the stale one;
+* ``ECoSTController._running_descriptor`` used to index
+  ``engine.running[0]`` unguarded and crash when the fault layer
+  emptied the running list between the schedulability check and the
+  descriptor build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.classify import NearestCentroidClassifier
+from repro.analysis.features import build_feature_matrix
+from repro.core.controller import ECoSTController
+from repro.core.stp import MLMSTP, describe_instance
+from repro.mapreduce.engine import ClusterEngine
+from repro.model.costmodel import pair_metrics
+from repro.model.sweep import sweep_pair
+from repro.online import OnlineSTP, PairObservation
+from repro.utils.units import GB
+from repro.workloads.base import AppInstance
+from repro.workloads.registry import get_app
+
+pytestmark = pytest.mark.online
+
+
+@pytest.fixture(scope="module")
+def fitted_stp(small_dataset):
+    return MLMSTP("reptree").fit(small_dataset)
+
+
+@pytest.fixture(scope="module")
+def classifier(small_training_instances):
+    fm = build_feature_matrix(small_training_instances, seed=0)
+    return NearestCentroidClassifier().fit(
+        fm, [i.app_class for i in small_training_instances]
+    )
+
+
+def _observation(code_a, size_a, code_b, size_b, stp, *, t=10.0, edp=None, **kw):
+    """A synthetic completed pairing using the STP's own predictions."""
+    inst_a = AppInstance(get_app(code_a), size_a)
+    inst_b = AppInstance(get_app(code_b), size_b)
+    desc_a = describe_instance(inst_a)
+    desc_b = describe_instance(inst_b)
+    cfg_a, cfg_b = stp.predict_configs(desc_a, desc_b)
+    if edp is None:
+        metrics = pair_metrics(
+            inst_a.profile, inst_a.data_bytes,
+            [cfg_a.frequency], [cfg_a.block_size], [cfg_a.n_mappers],
+            inst_b.profile, inst_b.data_bytes,
+            [cfg_b.frequency], [cfg_b.block_size], [cfg_b.n_mappers],
+        )
+        edp = float(np.asarray(metrics.edp).reshape(-1)[0])
+    return PairObservation(
+        t=t, desc_a=desc_a, desc_b=desc_b, inst_a=inst_a, inst_b=inst_b,
+        cfg_a=cfg_a, cfg_b=cfg_b, edp=edp, **kw,
+    )
+
+
+# ----------------------------------------------------------- wrapper
+class TestOnlineSTPBasics:
+    def test_requires_fitted_base(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            OnlineSTP(MLMSTP("reptree"))
+
+    def test_rejects_per_class_scope(self, fitted_stp):
+        import copy
+
+        stale = copy.deepcopy(fitted_stp)
+        stale.scope = "per-class"
+        with pytest.raises(ValueError, match="global"):
+            OnlineSTP(stale)
+
+    def test_lr_mode_needs_dataset(self, small_dataset):
+        lr = MLMSTP("lr").fit(small_dataset)
+        with pytest.raises(ValueError, match="training dataset"):
+            OnlineSTP(lr)
+
+    def test_base_model_stays_frozen(self, fitted_stp, small_dataset):
+        online = OnlineSTP(fitted_stp, dataset=small_dataset)
+        assert online.stp is not fitted_stp
+        assert online.stp.global_model_ is not fitted_stp.global_model_
+
+    def test_partial_fit_folds_one_row(self, fitted_stp, small_dataset):
+        online = OnlineSTP(fitted_stp, dataset=small_dataset)
+        before = len(online._window)
+        obs = _observation("wc", 1 * GB, "st", 1 * GB, fitted_stp)
+        assert online.partial_fit(obs) is True
+        assert online.telemetry.updates == 1
+        assert len(online._window) == min(before + 1, online._window.capacity)
+
+    @pytest.mark.parametrize("edp", [0.0, -3.0, float("nan"), float("inf")])
+    def test_partial_fit_skips_unusable_edp(self, fitted_stp, small_dataset, edp):
+        online = OnlineSTP(fitted_stp, dataset=small_dataset)
+        obs = _observation("wc", 1 * GB, "st", 1 * GB, fitted_stp, edp=edp)
+        assert online.partial_fit(obs) is False
+        assert online.telemetry.skipped_rows == 1
+        assert online.telemetry.updates == 0
+
+    def test_unsynchronized_rows_feed_detector_only(
+        self, fitted_stp, small_dataset
+    ):
+        online = OnlineSTP(fitted_stp, dataset=small_dataset, window=64)
+        rows_before = len(online._window)
+        samples_before = online.detector.samples
+        obs = _observation(
+            "wc", 1 * GB, "st", 1 * GB, fitted_stp, synchronized=False
+        )
+        assert online.partial_fit(obs) is True
+        assert online.telemetry.noisy_rows == 1
+        assert len(online._window) == rows_before  # not a model row
+        assert online.detector.samples == samples_before + 1
+
+    def test_rls_mode_updates_exactly(self, small_dataset):
+        lr = MLMSTP("lr").fit(small_dataset)
+        online = OnlineSTP(lr, dataset=small_dataset)
+        assert online.mode == "rls"
+        n_before = online._ridge.n_rows_
+        obs = _observation("wc", 1 * GB, "st", 1 * GB, lr)
+        online.partial_fit(obs)
+        assert online._ridge.n_rows_ == n_before + 1
+        # Wrapper predictions stay finite and grid-valid.
+        cfg_a, cfg_b = online.predict_configs(obs.desc_a, obs.desc_b)
+        assert cfg_a.n_mappers >= 1 and cfg_b.n_mappers >= 1
+
+
+# ------------------------------------------------------------- refit
+class TestRelearn:
+    def test_refit_sweeps_recent_pairs_and_installs_tuned_entry(
+        self, fitted_stp, small_dataset
+    ):
+        online = OnlineSTP(fitted_stp, dataset=small_dataset, relearn_rows=32)
+        obs = _observation("km", 10 * GB, "km", 10 * GB, fitted_stp)
+        online.partial_fit(obs)
+        assert online.refit(t=obs.t, reason="manual") is True
+        assert online.telemetry.refits == 1
+        assert online.telemetry.relearn_sweeps == 1
+        sweep = sweep_pair(obs.inst_a, obs.inst_b, node=fitted_stp.node)
+        assert online.predict_configs(obs.desc_a, obs.desc_b) == sweep.best_configs
+        assert online.telemetry.tuned_hits == 1
+        # Orientation-invariant: the swapped query returns the swapped pair.
+        hit = online.predict_configs(obs.desc_b, obs.desc_a)
+        assert hit == (sweep.best_configs[1], sweep.best_configs[0])
+
+    def test_first_sight_sweep_consumes_learning_budget(
+        self, fitted_stp, small_dataset
+    ):
+        online = OnlineSTP(fitted_stp, dataset=small_dataset, relearn_rows=32)
+        inst = AppInstance(get_app("nb"), 10 * GB)
+        desc = describe_instance(inst)
+        # No learning period open yet: first sight does nothing.
+        assert not online.observe_pair(
+            t=0.0, desc_a=desc, desc_b=desc, inst_a=inst, inst_b=inst
+        )
+        online.refit(t=1.0, reason="manual")  # opens the budget
+        assert online.observe_pair(
+            t=2.0, desc_a=desc, desc_b=desc, inst_a=inst, inst_b=inst
+        )
+        assert online.telemetry.relearn_sweeps == 1
+        # Already swept: a second sight is a no-op.
+        assert not online.observe_pair(
+            t=3.0, desc_a=desc, desc_b=desc, inst_a=inst, inst_b=inst
+        )
+
+    def test_refit_extends_projection_manifold(self, fitted_stp, small_dataset):
+        online = OnlineSTP(fitted_stp, dataset=small_dataset, relearn_rows=32)
+        rows_before = online.stp.train_features_.shape[0]
+        obs = _observation("km", 10 * GB, "nb", 10 * GB, fitted_stp)
+        online.partial_fit(obs)
+        online.refit()
+        assert online.stp.train_features_.shape[0] == rows_before + 2
+        assert online.stp.train_sizes_[-2:].tolist() == [
+            float(obs.inst_a.data_bytes),
+            float(obs.inst_b.data_bytes),
+        ]
+
+
+# ------------------------------------------------- controller seams
+class TestControllerRelearnSeam:
+    def test_post_crash_decision_differs_from_stale_model(
+        self, fitted_stp, small_dataset, classifier
+    ):
+        """Satellite regression: on a drifted pair the stale model's
+        decision used to survive ``on_cluster_change`` untouched; the
+        refit one must differ and beat it on closed-form EDP."""
+        inst = AppInstance(get_app("km"), 10 * GB)
+        desc = describe_instance(inst)
+        stale_cfgs = fitted_stp.predict_configs(desc, desc)
+
+        online = OnlineSTP(fitted_stp, dataset=small_dataset, relearn_rows=32)
+        obs = _observation("km", 10 * GB, "km", 10 * GB, fitted_stp)
+        online.partial_fit(obs)
+
+        cluster = ClusterEngine(n_nodes=2)
+        ctrl = ECoSTController(cluster, online, classifier)
+        ctrl.on_cluster_change(100.0, [0])
+
+        assert ctrl.relearn_count == 1
+        assert "re-entering learning period" in ctrl.decisions[-1]
+        assert "(STP refit)" in ctrl.decisions[-1]
+        refit_cfgs = online.predict_configs(desc, desc)
+        assert refit_cfgs != stale_cfgs
+
+        def pair_edp(cfgs):
+            m = pair_metrics(
+                inst.profile, inst.data_bytes,
+                [cfgs[0].frequency], [cfgs[0].block_size], [cfgs[0].n_mappers],
+                inst.profile, inst.data_bytes,
+                [cfgs[1].frequency], [cfgs[1].block_size], [cfgs[1].n_mappers],
+            )
+            return float(np.asarray(m.edp).reshape(-1)[0])
+
+        assert pair_edp(refit_cfgs) < pair_edp(stale_cfgs)
+
+    def test_offline_backend_keeps_log_without_refit_suffix(
+        self, fitted_stp, classifier
+    ):
+        cluster = ClusterEngine(n_nodes=2)
+        ctrl = ECoSTController(cluster, fitted_stp, classifier)
+        ctrl.on_cluster_change(50.0, [0, 1])
+        assert ctrl.relearn_count == 1
+        assert "re-entering learning period" in ctrl.decisions[-1]
+        assert "(STP refit)" not in ctrl.decisions[-1]
+
+    def test_running_descriptor_handles_emptied_node(
+        self, fitted_stp, classifier
+    ):
+        """Satellite regression: an alive node whose running list the
+        fault layer emptied must yield None, not IndexError."""
+        cluster = ClusterEngine(n_nodes=1)
+        ctrl = ECoSTController(cluster, fitted_stp, classifier)
+        engine = cluster.nodes[0]
+        assert engine.alive and not engine.running
+        assert ctrl._running_descriptor(engine) is None

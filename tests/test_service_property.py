@@ -192,3 +192,56 @@ def test_admission_isolation_across_tenants(case_seed):
     ]
     alone = [(a.get("accepted"), a.get("reason")) for a in acks_alone]
     assert mixed_solo == alone
+
+
+# ------------------------------------------------- long-horizon drift
+def _few_examples(fn):
+    """Cap hypothesis depth: each example simulates >= 1e6 seconds."""
+    if HAVE_HYPOTHESIS:
+        from hypothesis import settings
+
+        return settings(max_examples=8, deadline=None)(fn)
+    return fn
+
+
+@seeded_cases(8)
+@_few_examples
+def test_token_bucket_no_float_drift_over_long_horizons(case_seed):
+    """Over >= 1e6 simulated seconds of nominally admissible traffic
+    (every gap is an exact multiple of the refill period, so a token
+    is always due), accumulated float error in the incremental refill
+    must never cause a rejection — the ``_TOKEN_EPS`` guard — and the
+    bucket must never hold more than ``burst`` tokens."""
+    rng = rng_from(case_seed)
+    rate = float(rng.uniform(0.05, 0.3))
+    burst = float(rng.choice([1.0, 4.0, 64.0]))
+    bucket = TokenBucket(rate, burst)
+    period = 1.0 / rate
+    t = 0.0
+    horizon = 1e6
+    while t < horizon:
+        # Gaps of k full refill periods, k >= 1: always admissible.
+        t += float(rng.integers(1, 4)) * period
+        assert bucket.try_take(t), (
+            f"admissible request rejected at t={t:.3f} "
+            f"(rate={rate}, tokens={bucket.tokens!r})"
+        )
+        assert bucket.tokens <= burst + 1e-9
+    assert t >= horizon
+
+
+@seeded_cases(8)
+def test_token_bucket_burst_cap_after_long_idle(case_seed):
+    """An arbitrarily long idle stretch refills to exactly ``burst``:
+    the cap cannot creep and the (burst+1)-th immediate take fails."""
+    rng = rng_from(case_seed)
+    rate = float(rng.uniform(0.05, 0.3))
+    burst = float(rng.integers(1, 6))
+    bucket = TokenBucket(rate, burst)
+    t = float(rng.uniform(1.0, 10.0))
+    bucket.try_take(t)  # disturb the full-bucket initial state
+    t += 5e6  # idle far past the refill horizon
+    for _ in range(int(burst)):
+        assert bucket.try_take(t)
+        assert bucket.tokens <= burst
+    assert not bucket.try_take(t)

@@ -357,6 +357,27 @@ def _op_sharded_sweep():
     return run
 
 
+def _op_online_relearn():
+    from repro.online.scenario import run_drift_scenario
+
+    # The full online self-tuning loop under drift: champion/challenger
+    # shadow scoring, Page–Hinkley detection, learning-period re-sweeps,
+    # window refits, and the crash-triggered on_cluster_change relearn.
+    # Setup warms the artifact-cached pipeline so rounds measure the
+    # online layer, not the offline model build.  A lean window keeps
+    # the per-refresh tree refit proportionate to the 24-job stream.
+    kwargs = dict(n_jobs=24, seed=0, stp_kwargs={"window": 1536})
+    run_drift_scenario(**kwargs)
+
+    def run():
+        report = run_drift_scenario(**kwargs)
+        assert report.summary["completed"] == 24
+        assert report.decisions > 0
+        assert report.counters["online.relearn_sweeps"] > 0
+
+    return run
+
+
 #: op name -> (setup factory, in the quick subset?)
 OPS: dict[str, tuple] = {
     "bench_solo_sweep": (_op_solo_sweep, True),
@@ -371,6 +392,7 @@ OPS: dict[str, tuple] = {
     "bench_reptree_predict": (_op_reptree_predict, False),
     # Scale lane (not in --quick: CI runs these explicitly via --ops).
     "bench_service_ingest_10k": (_op_service_ingest_10k, False),
+    "bench_online_relearn": (_op_online_relearn, False),
     "bench_steady_state_256node": (_op_steady_state_256node, False),
     "bench_placement_100k_jobs": (_op_placement_100k_jobs, False),
     "bench_sharded_sweep": (_op_sharded_sweep, False),
