@@ -19,7 +19,13 @@ Commands
     relations, and (optionally) mutant self-verification.
 ``fuzz --budget N --seed S``
     Random scenario walk with shrinking; prints a paste-ready pytest
-    repro on failure.
+    repro on failure (``--hetero`` forces a node-class roster onto
+    every oracle-shaped draw).
+``hetero``
+    Run the heterogeneous acceptance matrix: every two-class scenario
+    against its closed-form oracle, plus the scalar/batch backends
+    differentially against the event engine with zero fallbacks
+    required.
 ``clear-cache``
     Drop the disk-cached artifacts (forces full rebuilds).
 ``serve [--port P] [--nodes N] [--scheduler fifo|ecost] [--clock ...]``
@@ -145,13 +151,77 @@ def _cmd_conform(args) -> int:
 def _cmd_fuzz(args) -> int:
     from repro.conformance import fuzz
 
+    kwargs = {}
+    if args.hetero:
+        kwargs["roster_prob"] = 1.0
     report = fuzz(
         budget=args.budget,
         seed=args.seed,
         backends=tuple(args.backends or ()),
+        **kwargs,
     )
     print(report.describe())
     return 0 if report.ok else 1
+
+
+def _cmd_hetero(args) -> int:
+    from repro.batch.engine import evaluate_scenarios
+    from repro.conformance.oracles import REL_TOL, check_oracle
+    from repro.conformance.scenarios import hetero_matrix, run_scenario
+
+    scenarios = hetero_matrix()
+    n_hetero = sum(1 for s in scenarios if s.heterogeneous)
+    rosters = sorted({s.node_classes for s in scenarios})
+    print(
+        f"hetero: {len(scenarios)} scenario(s), {n_hetero} mixed-class, "
+        f"{len(rosters)} distinct roster(s)"
+    )
+    failures: list[str] = []
+    clean = 0
+    for s in scenarios:
+        messages = check_oracle(s)
+        clean += not messages
+        failures.extend(messages)
+    print(f"oracle: {clean}/{len(scenarios)} scenario(s) within {REL_TOL:g}")
+    for message in failures[:10]:
+        print(f"  {message}")
+
+    reference = [run_scenario(s) for s in scenarios]
+    backend_outcomes: dict[str, list] = {}
+    for backend in ("scalar", "batch"):
+        outcomes = evaluate_scenarios(scenarios, backend=backend)
+        backend_outcomes[backend] = outcomes
+        fallbacks = sum(1 for o in outcomes if o.fallback)
+        worst = max(
+            max(
+                _rel_gap(ref.makespan, out.makespan),
+                _rel_gap(ref.total_energy, out.total_energy),
+            )
+            for ref, out in zip(reference, outcomes)
+        )
+        print(
+            f"{backend:6}: {fallbacks} fallback(s), "
+            f"worst rel err vs event {worst:.2e}"
+        )
+        if fallbacks:
+            failures.append(f"{backend}: {fallbacks} dispatcher fallback(s)")
+        if worst > REL_TOL:
+            failures.append(f"{backend}: rel err {worst:.2e} > {REL_TOL:g}")
+    mismatches = sum(
+        1
+        for a, b in zip(backend_outcomes["scalar"], backend_outcomes["batch"])
+        if (a.makespan, a.total_energy) != (b.makespan, b.total_energy)
+    )
+    print(f"scalar vs batch: {mismatches} bitwise mismatch(es)")
+    if mismatches:
+        failures.append(f"scalar vs batch: {mismatches} mismatch(es)")
+    print(f"hetero: {'FAIL' if failures else 'PASS'}")
+    return 1 if failures else 0
+
+
+def _rel_gap(expected: float, actual: float) -> float:
+    scale = max(abs(expected), abs(actual), 1e-12)
+    return abs(expected - actual) / scale
 
 
 def _cmd_serve(args) -> int:
@@ -314,7 +384,18 @@ def main(argv: list[str] | None = None) -> int:
         help="also differentially check this evaluation backend against "
              "the event engine on every scenario (repeatable)",
     )
+    p_fuzz.add_argument(
+        "--hetero", action="store_true",
+        help="annotate every oracle-shaped draw with a random node-class "
+             "roster (the heterogeneous smoke; other draws unchanged)",
+    )
     p_fuzz.set_defaults(fn=_cmd_fuzz)
+
+    p_hetero = sub.add_parser(
+        "hetero",
+        help="run the heterogeneous-cluster acceptance matrix",
+    )
+    p_hetero.set_defaults(fn=_cmd_hetero)
 
     p_serve = sub.add_parser(
         "serve", help="run the always-on job-submission service"

@@ -33,8 +33,10 @@ from typing import NamedTuple
 import numpy as np
 
 from repro.batch.kernel import (
+    NodeSoA,
     ProfileSoA,
     colocation_context_soa,
+    hetero_total_energy,
     node_state_soa,
     solo_disk_scale,
     standalone_metrics_soa,
@@ -94,9 +96,17 @@ def classify(scenario: Scenario, *, node: NodeSpec = ATOM_C2758) -> str:
     ``"chain"`` is a *candidate* — the arrival-gap condition needs the
     solved completion times, so the solver validates it numerically and
     falls back on violation.
+
+    A scenario with an explicit node-class roster overrides ``node``
+    with its own node 0 (first-fit is class-oblivious-leftmost, so
+    co-fit keys on node 0's core count); a spill job that does not fit
+    node 1's cores either is not closed-form solvable.
     """
     if scenario.fault_events:
         return "event"
+    roster = scenario.roster()
+    if roster is not None:
+        node = roster[0]
     jobs = scenario.jobs
     if len(jobs) == 1:
         return "single"
@@ -110,6 +120,8 @@ def classify(scenario: Scenario, *, node: NodeSpec = ATOM_C2758) -> str:
                 return "pair"
             if scenario.n_nodes == 1:
                 return "queued"
+            if roster is not None and jobs[1].n_mappers > roster[1].n_cores:
+                return "event"
             return "parallel"
         if total_mappers <= node.n_cores and len({j.identity() for j in jobs}) == 1:
             return "symmetric"
@@ -130,10 +142,15 @@ def _run_event(
 
     Mirrors :func:`repro.conformance.scenarios.run_scenario` but passes
     ``node``/``constants`` through to the engine so non-default
-    hardware evaluates consistently across backends.
+    hardware evaluates consistently across backends.  A scenario's own
+    node-class roster, when named, takes precedence over ``node``.
     """
     cluster = ClusterEngine(
-        scenario.n_nodes, node, constants=constants, recorder=scenario.recorder
+        scenario.n_nodes,
+        node,
+        constants=constants,
+        recorder=scenario.recorder,
+        roster=scenario.roster(),
     )
     specs = scenario.specs()
     for spec in specs:
@@ -233,14 +250,29 @@ def _scalar_outcome(
     busy_seconds: float,
     job_energies: dict[int, float],
     node: NodeSpec,
+    roster: tuple[NodeSpec, ...] | None = None,
+    busy_by_node: dict[int, float] | None = None,
 ) -> BatchOutcome:
     """Fold one scenario's accumulated quantities into cluster totals.
 
     Identical composition to the batch solvers' final lines, so a batch
-    of one reproduces this bit for bit.
+    of one reproduces this bit for bit.  On a heterogeneous roster the
+    idle term accumulates per node (each class draws its own idle
+    power) through the same :func:`hetero_total_energy` helper the
+    batch solvers call.
     """
-    idle = node.power.idle_power
-    total = busy_energy + idle * (scenario.n_nodes * makespan - busy_time_all)
+    if roster is not None:
+        total = float(
+            hetero_total_energy(
+                busy_energy,
+                makespan,
+                NodeSoA.from_specs(roster),
+                busy_by_node or {},
+            )
+        )
+    else:
+        idle = node.power.idle_power
+        total = busy_energy + idle * (scenario.n_nodes * makespan - busy_time_all)
     return BatchOutcome(
         case=case,
         backend="scalar",
@@ -256,7 +288,12 @@ def _scalar_outcome(
 
 
 def _solve_scalar(
-    scenario: Scenario, case: str, *, node: NodeSpec, constants: SimConstants
+    scenario: Scenario,
+    case: str,
+    *,
+    node: NodeSpec,
+    constants: SimConstants,
+    roster: tuple[NodeSpec, ...] | None = None,
 ) -> BatchOutcome | None:
     """Closed-form solve on the scalar kernel; None → use the engine.
 
@@ -264,6 +301,11 @@ def _solve_scalar(
     vectorised twin in the batch backend, one scenario at a time — the
     bit-for-bit batch-of-1 property tests rest on that, so changes here
     and in the ``_solve_*_batch`` functions must stay in lockstep.
+
+    ``roster`` (a genuinely mixed node roster; pass None when all nodes
+    are equal) switches the idle-energy fold to per-node accumulation;
+    all busy work runs on node 0's hardware (= ``node``) except the
+    parallel case, whose second job runs on ``roster[1]``.
     """
     jobs = scenario.jobs
     if case in ("single", "chain"):
@@ -292,7 +334,8 @@ def _solve_scalar(
             clock = end
             started = True
         return _scalar_outcome(
-            scenario, case, makespan, busy_energy, busy, busy, energies, node
+            scenario, case, makespan, busy_energy, busy, busy, energies, node,
+            roster, {0: busy},
         )
     if case == "pair":
         t0 = jobs[0].submit_time
@@ -318,7 +361,8 @@ def _solve_scalar(
         tail_energy = w_solo * t_tail
         energies = {long_: half + tail_energy, 1 - long_: half}
         return _scalar_outcome(
-            scenario, case, makespan, busy_energy, busy, busy, energies, node
+            scenario, case, makespan, busy_energy, busy, busy, energies, node,
+            roster, {0: busy},
         )
     if case == "queued":
         t0 = jobs[0].submit_time
@@ -333,14 +377,15 @@ def _solve_scalar(
         busy = (finish_a - t0) + (finish_b - finish_a)
         return _scalar_outcome(
             scenario, case, finish_b, e_a + e_b, busy, busy,
-            {0: e_a, 1: e_b}, node,
+            {0: e_a, 1: e_b}, node, roster, {0: busy},
         )
     if case == "parallel":
         t0 = jobs[0].submit_time
+        node1 = roster[1] if roster is not None else node
         [m0] = _eval_scalar_set(scenario, [0], node, constants)
         s0, w0 = _single_state_scalar(m0, node)
-        [m1] = _eval_scalar_set(scenario, [1], node, constants)
-        s1, w1 = _single_state_scalar(m1, node)
+        [m1] = _eval_scalar_set(scenario, [1], node1, constants)
+        s1, w1 = _single_state_scalar(m1, node1)
         wall0 = m0.duration * s0
         wall1 = m1.duration * s1
         e0 = w0 * wall0
@@ -348,7 +393,7 @@ def _solve_scalar(
         makespan = max(t0 + wall0, t0 + wall1)
         return _scalar_outcome(
             scenario, case, makespan, e0 + e1, wall0 + wall1, wall0,
-            {0: e0, 1: e1}, node,
+            {0: e0, 1: e1}, node, roster, {0: wall0, 1: wall1},
         )
     if case == "symmetric":
         t0 = jobs[0].submit_time
@@ -360,7 +405,8 @@ def _solve_scalar(
         per_job = w * wall / k
         energies = {i: per_job for i in range(len(jobs))}
         return _scalar_outcome(
-            scenario, case, makespan, w * wall, wall, wall, energies, node
+            scenario, case, makespan, w * wall, wall, wall, energies, node,
+            roster, {0: wall},
         )
     return None
 
@@ -413,7 +459,11 @@ def _eval_solo_column(
 
 
 def _solve_chain_batch(
-    batch: ScenarioBatch, *, node: NodeSpec, constants: SimConstants
+    batch: ScenarioBatch,
+    *,
+    node: NodeSpec,
+    constants: SimConstants,
+    roster: tuple[NodeSpec, ...] | None = None,
 ) -> tuple[dict[str, np.ndarray], np.ndarray]:
     """Single jobs and back-to-back chains, one slot column at a time.
 
@@ -453,8 +503,13 @@ def _solve_chain_batch(
         makespan = np.where(active, end, makespan)
         clock = np.where(active, end, clock)
         started |= active
-    idle = node.power.idle_power
-    total = busy_energy + idle * (batch.n_nodes * makespan - busy)
+    if roster is not None:
+        total = hetero_total_energy(
+            busy_energy, makespan, NodeSoA.from_specs(roster), {0: busy}
+        )
+    else:
+        idle = node.power.idle_power
+        total = busy_energy + idle * (batch.n_nodes * makespan - busy)
     return (
         {
             "makespan": makespan,
@@ -468,7 +523,11 @@ def _solve_chain_batch(
 
 
 def _solve_pair_batch(
-    batch: ScenarioBatch, *, node: NodeSpec, constants: SimConstants
+    batch: ScenarioBatch,
+    *,
+    node: NodeSpec,
+    constants: SimConstants,
+    roster: tuple[NodeSpec, ...] | None = None,
 ) -> dict[str, np.ndarray]:
     """Two simultaneous co-fitting jobs: overlap + recontexted solo tail."""
     S = len(batch)
@@ -513,8 +572,13 @@ def _solve_pair_batch(
     makespan = first_done + t_tail
     busy = t_overlap + t_tail
     busy_energy = w_pair * t_overlap + w_solo * t_tail
-    idle = node.power.idle_power
-    total = busy_energy + idle * (batch.n_nodes * makespan - busy)
+    if roster is not None:
+        total = hetero_total_energy(
+            busy_energy, makespan, NodeSoA.from_specs(roster), {0: busy}
+        )
+    else:
+        idle = node.power.idle_power
+        total = busy_energy + idle * (batch.n_nodes * makespan - busy)
     tail_energy = w_solo * t_tail
     job_energy = np.empty((S, 2))
     job_energy[:, 0] = np.where(short_is_0, half, half + tail_energy)
@@ -529,7 +593,11 @@ def _solve_pair_batch(
 
 
 def _solve_queued_batch(
-    batch: ScenarioBatch, *, node: NodeSpec, constants: SimConstants
+    batch: ScenarioBatch,
+    *,
+    node: NodeSpec,
+    constants: SimConstants,
+    roster: tuple[NodeSpec, ...] | None = None,
 ) -> dict[str, np.ndarray]:
     """Two simultaneous non-co-fitting jobs on one node: FIFO back-to-back."""
     S = len(batch)
@@ -546,8 +614,13 @@ def _solve_queued_batch(
     e_b = wb * (finish_b - finish_a)
     busy = (finish_a - t0) + (finish_b - finish_a)
     busy_energy = e_a + e_b
-    idle = node.power.idle_power
-    total = busy_energy + idle * (batch.n_nodes * finish_b - busy)
+    if roster is not None:
+        total = hetero_total_energy(
+            busy_energy, finish_b, NodeSoA.from_specs(roster), {0: busy}
+        )
+    else:
+        idle = node.power.idle_power
+        total = busy_energy + idle * (batch.n_nodes * finish_b - busy)
     return {
         "makespan": finish_b,
         "total_energy": total,
@@ -558,17 +631,27 @@ def _solve_queued_batch(
 
 
 def _solve_parallel_batch(
-    batch: ScenarioBatch, *, node: NodeSpec, constants: SimConstants
+    batch: ScenarioBatch,
+    *,
+    node: NodeSpec,
+    constants: SimConstants,
+    roster: tuple[NodeSpec, ...] | None = None,
 ) -> dict[str, np.ndarray]:
-    """Two simultaneous non-co-fitting jobs, a node each."""
+    """Two simultaneous non-co-fitting jobs, a node each.
+
+    On a mixed roster job 1 evaluates against node 1's hardware — the
+    one solvable shape where a second node class enters the physics
+    rather than only the idle-power fold.
+    """
     S = len(batch)
     rows = np.arange(S)
     base = batch.base_soa()
+    node1 = roster[1] if roster is not None else node
     t0 = batch.submit_time[:, 0]
     m0 = _eval_solo_column(batch, base, rows, np.zeros(S, dtype=np.intp), node, constants)
     s0, w0 = _single_state_batch(m0, node)
-    m1 = _eval_solo_column(batch, base, rows, np.ones(S, dtype=np.intp), node, constants)
-    s1, w1 = _single_state_batch(m1, node)
+    m1 = _eval_solo_column(batch, base, rows, np.ones(S, dtype=np.intp), node1, constants)
+    s1, w1 = _single_state_batch(m1, node1)
     wall0 = m0.duration * s0
     wall1 = m1.duration * s1
     e0 = w0 * wall0
@@ -576,8 +659,16 @@ def _solve_parallel_batch(
     makespan = np.maximum(t0 + wall0, t0 + wall1)
     busy_energy = e0 + e1
     busy_all = wall0 + wall1
-    idle = node.power.idle_power
-    total = busy_energy + idle * (batch.n_nodes * makespan - busy_all)
+    if roster is not None:
+        total = hetero_total_energy(
+            busy_energy,
+            makespan,
+            NodeSoA.from_specs(roster),
+            {0: wall0, 1: wall1},
+        )
+    else:
+        idle = node.power.idle_power
+        total = busy_energy + idle * (batch.n_nodes * makespan - busy_all)
     return {
         "makespan": makespan,
         "total_energy": total,
@@ -588,7 +679,11 @@ def _solve_parallel_batch(
 
 
 def _solve_symmetric_batch(
-    batch: ScenarioBatch, *, node: NodeSpec, constants: SimConstants
+    batch: ScenarioBatch,
+    *,
+    node: NodeSpec,
+    constants: SimConstants,
+    roster: tuple[NodeSpec, ...] | None = None,
 ) -> dict[str, np.ndarray]:
     """k identical simultaneous jobs: one shared phase, even energy split."""
     S, K = batch.data_bytes.shape
@@ -615,8 +710,13 @@ def _solve_symmetric_batch(
     k = batch.n_jobs.astype(float)
     makespan = t0 + wall
     busy_energy = w * wall
-    idle = node.power.idle_power
-    total = busy_energy + idle * (batch.n_nodes * makespan - wall)
+    if roster is not None:
+        total = hetero_total_energy(
+            busy_energy, makespan, NodeSoA.from_specs(roster), {0: wall}
+        )
+    else:
+        idle = node.power.idle_power
+        total = busy_energy + idle * (batch.n_nodes * makespan - wall)
     per_job = w * wall / k
     job_energy = np.where(mask, per_job[:, None], 0.0)
     return {
@@ -699,11 +799,28 @@ def evaluate_scenarios(
             )
         return outcomes  # type: ignore[return-value]
 
+    def roster_args(s: Scenario) -> tuple[NodeSpec, tuple[NodeSpec, ...] | None]:
+        """(busy-node spec, mixed roster or None) for one scenario.
+
+        A homogeneous explicit roster (all nodes one class) solves on
+        the legacy single-node fold with that class's spec — same
+        arithmetic shape as today, different constants — while a
+        genuinely mixed roster switches the solvers to per-node idle
+        accumulation.
+        """
+        roster = s.roster()
+        if roster is None:
+            return node, None
+        return roster[0], (roster if len(set(roster)) > 1 else None)
+
     if backend == "scalar":
         for i, s in enumerate(scenarios):
             case = classify(s, node=node)
+            node_s, mixed = roster_args(s)
             solved = (
-                _solve_scalar(s, case, node=node, constants=constants)
+                _solve_scalar(
+                    s, case, node=node_s, constants=constants, roster=mixed
+                )
                 if case in SOLVABLE_CASES
                 else None
             )
@@ -714,29 +831,32 @@ def evaluate_scenarios(
             outcomes[i] = note(solved)
         return outcomes  # type: ignore[return-value]
 
-    # backend == "batch": group by class, one vectorised pass per class.
-    by_case: dict[str, list[int]] = {}
+    # backend == "batch": group by (class, roster) — every scenario of a
+    # group shares one node-class tuple, so the whole group still solves
+    # in one vectorised pass with group-constant node hardware.
+    by_group: dict[tuple[str, tuple[str, ...]], list[int]] = {}
     cases = [classify(s, node=node) for s in scenarios]
     for i, (s, case) in enumerate(zip(scenarios, cases)):
         if case in _BATCH_SOLVERS:
-            by_case.setdefault(case, []).append(i)
+            by_group.setdefault((case, s.node_classes), []).append(i)
         else:
             outcomes[i] = note(
                 _run_event(s, node=node, constants=constants, case=case, fallback=True)
             )
-    for case in ("single", "chain", "pair", "queued", "parallel", "symmetric"):
-        idxs = by_case.get(case)
-        if not idxs:
-            continue
+    for case, classes in sorted(by_group):
+        idxs = by_group[(case, classes)]
         group = [scenarios[i] for i in idxs]
+        node_g, mixed = roster_args(group[0])
         packed = ScenarioBatch.from_scenarios(group)
         if telemetry is not None:
             telemetry.record_kernel(len(group))
         solver = _BATCH_SOLVERS[case]
         if solver is _solve_chain_batch:
-            cols, violated = solver(packed, node=node, constants=constants)
+            cols, violated = solver(
+                packed, node=node_g, constants=constants, roster=mixed
+            )
         else:
-            cols = solver(packed, node=node, constants=constants)
+            cols = solver(packed, node=node_g, constants=constants, roster=mixed)
             violated = np.zeros(len(group), dtype=bool)
         solved = _columns_to_outcomes(group, case, cols)
         for local, i in enumerate(idxs):

@@ -119,6 +119,90 @@ class ProfileSoA:
         return self.instructions_per_byte.shape[0] if self.instructions_per_byte.ndim else 1
 
 
+#: Per-node-class constants the batch layer consumes, in NodeSoA order.
+NODE_FIELDS: tuple[str, ...] = (
+    "n_cores",
+    "idle_power",
+    "core_max_power",
+    "mem_max_power",
+    "disk_max_power",
+    "membw",
+    "nic_bw",
+)
+
+
+@dataclass(frozen=True)
+class NodeSoA:
+    """Node-class constants transposed into parallel float64 arrays.
+
+    One lane per roster position, so heterogeneous batch folds (idle
+    energy across a mixed roster, per-node bandwidth caps) read
+    contiguous arrays instead of chasing ``NodeSpec`` attribute chains
+    per node.  Built once per (case, roster) group by
+    :meth:`from_specs`; :meth:`take` gathers lanes like
+    :meth:`ProfileSoA.take` does.
+    """
+
+    n_cores: np.ndarray
+    idle_power: np.ndarray
+    core_max_power: np.ndarray
+    mem_max_power: np.ndarray
+    disk_max_power: np.ndarray
+    membw: np.ndarray
+    nic_bw: np.ndarray
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[NodeSpec]) -> "NodeSoA":
+        """Transpose a node roster into contiguous constant arrays."""
+        if not specs:
+            raise ValueError("need at least one node spec")
+        cols = {
+            "n_cores": [float(n.n_cores) for n in specs],
+            "idle_power": [n.power.idle_power for n in specs],
+            "core_max_power": [n.power.core_max_power for n in specs],
+            "mem_max_power": [n.power.mem_max_power for n in specs],
+            "disk_max_power": [n.power.disk_max_power for n in specs],
+            "membw": [n.membw.achievable_bw for n in specs],
+            "nic_bw": [float(n.nic_bw) for n in specs],
+        }
+        return cls(
+            **{
+                name: np.ascontiguousarray(cols[name], dtype=np.float64)
+                for name in NODE_FIELDS
+            }
+        )
+
+    def take(self, indices) -> "NodeSoA":
+        """Gather node lanes by index (any shape)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return NodeSoA(
+            **{
+                name: np.ascontiguousarray(getattr(self, name)[idx])
+                for name in NODE_FIELDS
+            }
+        )
+
+    def __len__(self) -> int:
+        return self.n_cores.shape[0] if self.n_cores.ndim else 1
+
+
+def hetero_total_energy(busy_energy, makespan, nodes: NodeSoA, busy_by_node):
+    """Cluster energy on a mixed roster: per-node idle accumulation.
+
+    ``busy_by_node`` maps node id -> busy seconds on that node (float or
+    per-scenario array); omitted nodes are fully idle.  The accumulation
+    runs node-by-node in roster order with identical operations for
+    float and array operands, so the scalar backend and a batch of one
+    stay bit-identical on heterogeneous scenarios exactly as they do on
+    the homogeneous fold.
+    """
+    total = busy_energy
+    for node_id in range(len(nodes)):
+        busy_here = busy_by_node.get(node_id, 0.0)
+        total = total + nodes.idle_power[node_id] * (makespan - busy_here)
+    return total
+
+
 def standalone_metrics_soa(
     p: ProfileSoA,
     data_bytes,

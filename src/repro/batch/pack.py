@@ -58,6 +58,8 @@ class ScenarioBatch:
     profile_codes: tuple[str, ...]
     fault_events: tuple[tuple[FaultEvent, ...], ...]
     recorders: tuple[str, ...]
+    #: Per-scenario node-class names (empty = default homogeneous).
+    node_classes: tuple[tuple[str, ...], ...] = ()
 
     def __len__(self) -> int:
         return int(self.n_nodes.shape[0])
@@ -131,6 +133,7 @@ class ScenarioBatch:
             profile_codes=tuple(codes),
             fault_events=tuple(s.fault_events for s in scenarios),
             recorders=tuple(s.recorder for s in scenarios),
+            node_classes=tuple(s.node_classes for s in scenarios),
         )
 
     def scenarios(self) -> list[Scenario]:
@@ -156,6 +159,9 @@ class ScenarioBatch:
                     jobs=jobs,
                     fault_events=self.fault_events[i],
                     recorder=self.recorders[i],
+                    node_classes=(
+                        self.node_classes[i] if self.node_classes else ()
+                    ),
                 )
             )
         return out

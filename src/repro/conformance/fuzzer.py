@@ -31,6 +31,9 @@ from repro.workloads.registry import ALL_APPS
 
 _FREQUENCIES = (1.2 * GHZ, 1.6 * GHZ, 2.0 * GHZ, 2.4 * GHZ)
 _BLOCKS = (64 * MB, 128 * MB, 256 * MB, 512 * MB)
+_NODE_CLASS_NAMES = ("atom", "xeon")
+#: Fraction of oracle-shaped draws annotated with an explicit roster.
+_ROSTER_PROB = 0.25
 _MAX_SHRINK_ROUNDS = 64
 
 
@@ -119,14 +122,40 @@ def _random_faults(
     return tuple(events)
 
 
-def generate_scenario(rng: random.Random) -> Scenario:
+def _maybe_roster(
+    rng: random.Random, scenario: Scenario, *, prob: float = _ROSTER_PROB
+) -> Scenario:
+    """Annotate ~``prob`` of oracle-shaped draws with a class roster.
+
+    Drawn strictly *after* every other field of the scenario, so
+    scenarios that existed before heterogeneity keep byte-identical
+    job and fault draws for every historical seed.  (The coin is
+    tossed even at ``prob=1.0`` so the downstream draw sequence is
+    the same at every probability.)
+    """
+    if rng.random() >= prob:
+        return scenario
+    classes = tuple(
+        rng.choice(_NODE_CLASS_NAMES) for _ in range(scenario.n_nodes)
+    )
+    return replace(scenario, node_classes=classes)
+
+
+def generate_scenario(
+    rng: random.Random, *, roster_prob: float = _ROSTER_PROB
+) -> Scenario:
     """One random scenario, biased toward oracle-solvable shapes.
 
     Roughly half the draws land in a class the analytic oracles solve
     (single / simultaneous pair / symmetric / spaced chain), so the
     strongest check — engine vs closed form — fires often; the rest are
     general multi-job, multi-node scenarios (some with fault plans)
-    exercised by the metamorphic relations.
+    exercised by the metamorphic relations.  Oracle-shaped draws are
+    annotated with an explicit class roster with probability
+    ``roster_prob`` (the oracles stay exact on mixed two-class
+    clusters); ``roster_prob=1.0`` forces a roster onto every
+    oracle-shaped draw — the CI heterogeneous smoke — without changing
+    any other draw in the sequence.
     """
     shape = rng.choices(
         ("single", "pair", "symmetric", "chain", "general"),
@@ -135,15 +164,23 @@ def generate_scenario(rng: random.Random) -> Scenario:
     if shape == "single":
         n_nodes = rng.choice((1, 1, 2))
         submit = round(rng.uniform(0.0, 200.0), 3) if rng.random() < 0.4 else 0.0
-        return Scenario(n_nodes, (_random_job(rng, submit_time=submit),))
+        return _maybe_roster(
+            rng,
+            Scenario(n_nodes, (_random_job(rng, submit_time=submit),)),
+            prob=roster_prob,
+        )
     if shape == "pair":
         a = _random_job(rng)
         b = _random_job(rng)
-        return Scenario(rng.choice((1, 1, 2)), (a, b))
+        return _maybe_roster(
+            rng, Scenario(rng.choice((1, 1, 2)), (a, b)), prob=roster_prob
+        )
     if shape == "symmetric":
         k = rng.randint(2, 4)
         proto = replace(_random_job(rng), n_mappers=rng.randint(1, 8 // k))
-        return Scenario(1, tuple(proto for _ in range(k)))
+        return _maybe_roster(
+            rng, Scenario(1, tuple(proto for _ in range(k))), prob=roster_prob
+        )
     if shape == "chain":
         # Arrival gaps sized generously past any plausible completion;
         # the oracle itself verifies the jobs truly never overlap.
@@ -152,7 +189,7 @@ def generate_scenario(rng: random.Random) -> Scenario:
         for _ in range(rng.randint(2, 3)):
             jobs.append(_random_job(rng, submit_time=round(t, 3)))
             t += rng.uniform(3000.0, 6000.0)
-        return Scenario(1, tuple(jobs))
+        return _maybe_roster(rng, Scenario(1, tuple(jobs)), prob=roster_prob)
     n_nodes = rng.randint(1, 4)
     jobs = tuple(
         _random_job(rng, submit_time=round(rng.uniform(0.0, 300.0), 3))
@@ -309,8 +346,9 @@ def shrink(
     """Greedily minimise ``scenario`` while check ``check`` still fails.
 
     Passes, largest wins first: drop whole jobs, collapse the cluster,
-    drop fault events, then simplify per-job knobs (zero the arrival
-    time, shrink the input, fewest mappers).  Each candidate is
+    collapse an explicit node-class roster, drop fault events, then
+    simplify per-job knobs (zero the arrival time, shrink the input,
+    fewest mappers).  Each candidate is
     accepted only if the *same named check* still fails, so shrinking
     cannot wander onto a different defect.  Deterministic; bounded by
     ``_MAX_SHRINK_ROUNDS`` fixpoint rounds.  ``backends`` must match
@@ -341,7 +379,13 @@ def shrink(
             scenario.with_nodes(scenario.n_nodes - 1), "removed a node"
         ):
             changed = True
-        # 3. Fewer fault events.
+        # 3. Collapse an explicit roster to default hardware (rejected
+        # automatically when the failure needs the mixed classes).
+        if scenario.node_classes and attempt(
+            scenario.homogenised(), "collapsed roster"
+        ):
+            changed = True
+        # 4. Fewer fault events.
         i = 0
         while i < len(scenario.fault_events):
             fewer = replace(
@@ -353,7 +397,7 @@ def shrink(
                 changed = True
             else:
                 i += 1
-        # 4. Simpler job knobs — always derived from the *current* job
+        # 5. Simpler job knobs — always derived from the *current* job
         # so an accepted simplification is never reverted by the next.
         simplifications = (
             ("submit_time", 0.0, "submit_time -> 0"),
@@ -417,6 +461,7 @@ def fuzz(
     relations: list[str] | None = None,
     backends: tuple[str, ...] = (),
     stop_on_failure: bool = True,
+    roster_prob: float = _ROSTER_PROB,
 ) -> FuzzReport:
     """Run up to ``budget`` random scenarios through the check battery.
 
@@ -425,14 +470,16 @@ def fuzz(
     ``seed``: scenario ``i`` is generated from ``Random(f"{seed}:{i}")``
     independently of the preceding scenarios.  ``backends`` adds the
     differential backend checks (e.g. ``("batch",)``) to the battery
-    on every scenario.
+    on every scenario.  ``roster_prob`` overrides the fraction of
+    oracle-shaped draws carrying an explicit node-class roster
+    (``1.0`` = the heterogeneous smoke; other draws are unchanged).
     """
     if budget < 1:
         raise ValueError("budget must be >= 1")
     report = FuzzReport(seed=seed, budget=budget)
     for i in range(budget):
         rng = random.Random(f"{seed}:{i}")
-        scenario = generate_scenario(rng)
+        scenario = generate_scenario(rng, roster_prob=roster_prob)
         report.executed = i + 1
         failures = run_checks(scenario, relations=relations, backends=backends)
         if not failures:

@@ -8,7 +8,7 @@ the fuzzer detects every one of them and shrinks the failure to a
 minimal scenario.  If a future edit to the oracles or relations stops
 catching a mutant, CI fails — the checks themselves are under test.
 
-The three defects mirror the risk profile of past hot-path rewrites:
+The defects mirror the risk profile of past hot-path rewrites:
 
 ``off-by-one-waves``
     The scalar cost kernel schedules one map wave too many (a classic
@@ -23,6 +23,14 @@ The three defects mirror the risk profile of past hot-path rewrites:
     right shape regardless of key — the bug its key-echo mechanism
     exists to catch.  A cold single-job run never hits the cache, so
     the minimal repro needs two jobs.
+``ignore-node-class``
+    Cluster construction silently drops the node-class roster, so
+    every node runs default hardware regardless of what the scenario
+    names — the exact regression a placement refactor that forgets to
+    thread the roster through would introduce.  Invisible on every
+    homogeneous-default scenario (the byte-identity guarantee makes
+    that unavoidable), caught by the roster-aware oracle the moment a
+    fuzzed scenario names a non-default class.
 """
 
 from __future__ import annotations
@@ -108,6 +116,24 @@ def stale_cache_reuse() -> Iterator[None]:
         engine_mod.RecontextCache.get = original
 
 
+@contextmanager
+def ignore_node_class() -> Iterator[None]:
+    """Cluster construction that silently discards the roster."""
+
+    original = engine_mod.ClusterEngine.__init__
+
+    def mutated(self, *args, roster=None, **kwargs):
+        # The tell-tale slip: ``roster`` is accepted and dropped, so
+        # node count and default hardware come from the other args.
+        original(self, *args, **kwargs)
+
+    engine_mod.ClusterEngine.__init__ = mutated
+    try:
+        yield
+    finally:
+        engine_mod.ClusterEngine.__init__ = original
+
+
 #: Registry: mutant name -> context-manager factory.  The self-verify
 #: lane iterates this mapping; adding a mutant here automatically adds
 #: it to ``python -m repro conform --self-verify`` and to CI.
@@ -115,4 +141,5 @@ MUTANTS: Mapping[str, Callable[[], ContextManager[None]]] = {
     "off-by-one-waves": off_by_one_waves,
     "dropped-idle-energy": dropped_idle_energy,
     "stale-cache-reuse": stale_cache_reuse,
+    "ignore-node-class": ignore_node_class,
 }

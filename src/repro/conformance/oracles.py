@@ -269,12 +269,15 @@ def _expectation_from_segments(
     job_energies: dict[int, float],
     case: str,
     node: NodeSpec,
+    roster: tuple[NodeSpec, ...] | None = None,
 ) -> OracleExpectation:
     """Fold per-node ``(start, end, watts)`` segments into totals.
 
     Idle draw fills every second of ``[0, makespan]`` not covered by a
     busy segment, on every node — the wall-meter accounting the engine
-    implements with prefix sums.
+    implements with prefix sums.  On a mixed roster each node idles at
+    *its own* floor, so the hetero branch folds idle energy node by
+    node; the homogeneous expression is kept verbatim.
     """
     makespan = max(
         end for segs in segments_per_node.values() for (_s, end, _w) in segs
@@ -285,8 +288,18 @@ def _expectation_from_segments(
         for start, end, watts in segs:
             busy_energy += watts * (end - start)
             busy_time_all += end - start
-    idle_power = node.power.idle_power
-    total_energy = busy_energy + idle_power * (scenario.n_nodes * makespan - busy_time_all)
+    if roster is not None:
+        idle_energy = 0.0
+        for node_id, spec in enumerate(roster):
+            busy_here = sum(
+                end - start
+                for (start, end, _w) in segments_per_node.get(node_id, [])
+            )
+            idle_energy += spec.power.idle_power * (makespan - busy_here)
+        total_energy = busy_energy + idle_energy
+    else:
+        idle_power = node.power.idle_power
+        total_energy = busy_energy + idle_power * (scenario.n_nodes * makespan - busy_time_all)
     node0 = segments_per_node.get(0, [])
     return OracleExpectation(
         case=case,
@@ -299,7 +312,11 @@ def _expectation_from_segments(
 
 
 def _solve_chain(
-    scenario: Scenario, order: list[int], node: NodeSpec, constants: SimConstants
+    scenario: Scenario,
+    order: list[int],
+    node: NodeSpec,
+    constants: SimConstants,
+    roster: tuple[NodeSpec, ...] | None = None,
 ) -> OracleExpectation | None:
     """Back-to-back jobs on node 0; None if any pair overlaps in time."""
     segments: list[tuple[float, float, float]] = []
@@ -318,12 +335,15 @@ def _solve_chain(
         clock = start + wall
     return _expectation_from_segments(
         scenario, {0: segments}, job_energies, "chain" if len(order) > 1 else "single",
-        node,
+        node, roster,
     )
 
 
 def _solve_queued_chain(
-    scenario: Scenario, node: NodeSpec, constants: SimConstants
+    scenario: Scenario,
+    node: NodeSpec,
+    constants: SimConstants,
+    roster: tuple[NodeSpec, ...] | None = None,
 ) -> OracleExpectation:
     """Two simultaneous jobs on one node that cannot co-fit: FIFO queues
     the second behind the first, so it starts exactly at the first's
@@ -338,27 +358,43 @@ def _solve_queued_chain(
     finish_b = finish_a + mb.duration * sb
     segments = [(t0, finish_a, wa), (finish_a, finish_b, wb)]
     energies = {0: wa * (finish_a - t0), 1: wb * (finish_b - finish_a)}
-    return _expectation_from_segments(scenario, {0: segments}, energies, "queued-chain", node)
+    return _expectation_from_segments(
+        scenario, {0: segments}, energies, "queued-chain", node, roster
+    )
 
 
 def _solve_parallel(
-    scenario: Scenario, node: NodeSpec, constants: SimConstants
+    scenario: Scenario,
+    node: NodeSpec,
+    constants: SimConstants,
+    roster: tuple[NodeSpec, ...] | None = None,
 ) -> OracleExpectation:
-    """Two simultaneous jobs that cannot co-fit, one node each."""
+    """Two simultaneous jobs that cannot co-fit, one node each.
+
+    On a mixed roster job ``i`` runs on node ``i``'s own spec — the
+    first-fit rule walks left to right, so the second job lands on
+    node 1 and is evaluated against node 1's hardware.
+    """
     t0 = scenario.jobs[0].submit_time
     segments_per_node: dict[int, list[tuple[float, float, float]]] = {}
     energies: dict[int, float] = {}
     for idx, job in enumerate(scenario.jobs):
-        [m] = _evaluate([job], node, constants)
-        s, w = _node_state([m], node)
+        here = roster[idx] if roster is not None else node
+        [m] = _evaluate([job], here, constants)
+        s, w = _node_state([m], here)
         wall = m.duration * s
         segments_per_node[idx] = [(t0, t0 + wall, w)]
         energies[idx] = w * wall
-    return _expectation_from_segments(scenario, segments_per_node, energies, "parallel", node)
+    return _expectation_from_segments(
+        scenario, segments_per_node, energies, "parallel", node, roster
+    )
 
 
 def _solve_pair(
-    scenario: Scenario, node: NodeSpec, constants: SimConstants
+    scenario: Scenario,
+    node: NodeSpec,
+    constants: SimConstants,
+    roster: tuple[NodeSpec, ...] | None = None,
 ) -> OracleExpectation:
     """Two simultaneous co-fitting jobs: overlap segment at the pair
     stretch, then the survivor's remaining work *fraction* re-based onto
@@ -385,11 +421,16 @@ def _solve_pair(
         t_tail = fraction_left * solo.duration * s_solo
         segments.append((first_done, first_done + t_tail, w_solo))
         energies[long_] += w_solo * t_tail
-    return _expectation_from_segments(scenario, {0: segments}, energies, "pair", node)
+    return _expectation_from_segments(
+        scenario, {0: segments}, energies, "pair", node, roster
+    )
 
 
 def _solve_symmetric(
-    scenario: Scenario, node: NodeSpec, constants: SimConstants
+    scenario: Scenario,
+    node: NodeSpec,
+    constants: SimConstants,
+    roster: tuple[NodeSpec, ...] | None = None,
 ) -> OracleExpectation:
     """k identical simultaneous jobs: one phase, all finish together."""
     t0 = scenario.jobs[0].submit_time
@@ -399,7 +440,7 @@ def _solve_symmetric(
     k = len(scenario.jobs)
     energies = {i: watts * wall / k for i in range(k)}
     return _expectation_from_segments(
-        scenario, {0: [(t0, t0 + wall, watts)]}, energies, "symmetric", node
+        scenario, {0: [(t0, t0 + wall, watts)]}, energies, "symmetric", node, roster
     )
 
 
@@ -412,28 +453,40 @@ def oracle_expectation(
 ) -> OracleExpectation | None:
     """Closed-form truth for ``scenario``, or None when it is not in an
     exactly-solvable class (the caller should then skip the oracle
-    check, not treat it as a pass)."""
+    check, not treat it as a pass).
+
+    Heterogeneous scenarios (``scenario.node_classes`` set) override
+    the ``node`` argument with the scenario's own roster: jobs run on
+    node 0's hardware except the parallel case, whose second job lands
+    on node 1.  First-fit placement is class-oblivious-leftmost, so
+    co-fit decisions key on *node 0's* core count.
+    """
     if scenario.fault_events:
         return None
+    roster = scenario.roster()
+    if roster is not None:
+        node = roster[0]
     jobs = scenario.jobs
     if len(jobs) == 1:
-        return _solve_chain(scenario, [0], node, constants)
+        return _solve_chain(scenario, [0], node, constants, roster)
 
     submits = {j.submit_time for j in jobs}
     if len(submits) == 1:
         total_mappers = sum(j.n_mappers for j in jobs)
         if len(jobs) == 2:
             if total_mappers <= node.n_cores:
-                return _solve_pair(scenario, node, constants)
+                return _solve_pair(scenario, node, constants, roster)
             if scenario.n_nodes == 1:
-                return _solve_queued_chain(scenario, node, constants)
-            return _solve_parallel(scenario, node, constants)
+                return _solve_queued_chain(scenario, node, constants, roster)
+            if roster is not None and jobs[1].n_mappers > roster[1].n_cores:
+                return None  # second job cannot land on node 1 either
+            return _solve_parallel(scenario, node, constants, roster)
         if total_mappers <= node.n_cores and len({j.identity() for j in jobs}) == 1:
-            return _solve_symmetric(scenario, node, constants)
+            return _solve_symmetric(scenario, node, constants, roster)
         return None
 
     order = sorted(range(len(jobs)), key=lambda i: (jobs[i].submit_time, i))
-    return _solve_chain(scenario, order, node, constants)
+    return _solve_chain(scenario, order, node, constants, roster)
 
 
 def _rel_err(expected: float, actual: float) -> float:

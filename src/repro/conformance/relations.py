@@ -38,6 +38,24 @@ The registered relations:
 ``recorder-equivalence``
     The interval recorder is observability, not physics: ``full``,
     ``columnar`` and ``off`` recorders produce byte-identical results.
+``swap-equal-classes``
+    Naming every node's class explicitly — when the classes are all the
+    default hardware — is byte-identical to not naming them, and equal
+    node specs always collapse to one class tag regardless of object
+    identity or roster position.  Pins the homogeneous fast path: a
+    roster of equal nodes must take today's untagged cache keys.
+``upgrade-node-class``
+    Upgrading node 0 from ``atom`` to ``xeon`` on a fault-free
+    single-job scenario never increases makespan (the Xeon is strictly
+    faster on every resource axis), and the *sign* of the EDP change
+    must match the closed-form oracle's sign — EDP itself is not
+    monotone (the Xeon draws far more power), so the relation pins
+    direction agreement, not direction.
+``skew-zero-uniform``
+    Re-apportioning every job's input through the data-skew knob at
+    ``skew = 0`` is the identity: same integer byte vector, equal
+    scenario, byte-identical engine run.  At ``skew > 0`` the grand
+    total is still preserved exactly.
 """
 
 from __future__ import annotations
@@ -47,9 +65,11 @@ from typing import Callable, Iterable, Mapping
 
 from repro.conformance.scenarios import Scenario, run_scenario
 from repro.hardware.node import ATOM_C2758
+from repro.mapreduce.engine import ClusterEngine
 from repro.model.costmodel import standalone_metrics_scalar
 from repro.utils.units import GHZ, MB
 from repro.workloads.registry import get_app
+from repro.workloads.skew import skew_data_bytes
 
 #: Tolerance for relations that compare two *different* evaluation
 #: orders of the same arithmetic (exact relations compare with ==).
@@ -151,6 +171,12 @@ def _rel_add_idle_node(scenario: Scenario) -> RelationResult:
     if scenario.fault_events:
         # Fault plans address nodes by id; growing the cluster changes
         # which nodes the schedule hits, so the comparison is invalid.
+        return _not_applicable(name)
+    if scenario.heterogeneous:
+        # Class-oblivious first-fit can move a job from "queue behind a
+        # fast node" to "run now on a slow node", which legitimately
+        # lengthens the makespan — capacity monotonicity only holds
+        # when the added capacity is not slower than what exists.
         return _not_applicable(name)
     base = run_scenario(scenario)
     grown = run_scenario(scenario.with_nodes(scenario.n_nodes + 1))
@@ -254,6 +280,124 @@ def _rel_recorder_equivalence(scenario: Scenario) -> RelationResult:
     return _result(name, failures)
 
 
+def _rel_swap_equal_classes(scenario: Scenario) -> RelationResult:
+    name = "swap-equal-classes"
+    if scenario.node_classes:
+        # Already annotated: the explicit-vs-implicit comparison below
+        # needs the unannotated scenario as its baseline.
+        return _not_applicable(name)
+    base = run_scenario(scenario)
+    annotated = run_scenario(
+        replace(scenario, node_classes=("atom",) * scenario.n_nodes)
+    )
+    failures = []
+    if annotated.makespan != base.makespan:
+        failures.append(
+            f"makespan {base.makespan!r} -> {annotated.makespan!r} "
+            f"under explicit default-class annotation"
+        )
+    if annotated.total_energy != base.total_energy:
+        failures.append(
+            f"total_energy {base.total_energy!r} -> {annotated.total_energy!r}"
+        )
+    if annotated.rows != base.rows:
+        failures.append("completion rows differ under default-class annotation")
+    if annotated.cluster.heterogeneous or any(annotated.cluster.node_class_tags):
+        failures.append(
+            f"equal classes tagged {annotated.cluster.node_class_tags!r} "
+            f"(expected all zero)"
+        )
+    # Equality, not identity: a roster of *distinct but equal* spec
+    # objects in any position order must still collapse to one class.
+    twin = replace(ATOM_C2758)
+    assert twin is not ATOM_C2758
+    swapped = ClusterEngine(
+        roster=tuple(
+            (twin, ATOM_C2758)[i % 2] for i in range(scenario.n_nodes)
+        )
+    )
+    if swapped.heterogeneous or any(swapped.node_class_tags):
+        failures.append(
+            f"equal-but-distinct specs tagged {swapped.node_class_tags!r} "
+            f"(expected all zero)"
+        )
+    return _result(name, failures)
+
+
+def _rel_upgrade_node_class(scenario: Scenario) -> RelationResult:
+    name = "upgrade-node-class"
+    if len(scenario.jobs) != 1 or scenario.fault_events or scenario.node_classes:
+        return _not_applicable(name)
+    from repro.conformance.oracles import oracle_expectation
+
+    base_s = replace(scenario, node_classes=("atom",) * scenario.n_nodes)
+    up_s = replace(
+        scenario, node_classes=("xeon",) + ("atom",) * (scenario.n_nodes - 1)
+    )
+    base = run_scenario(base_s)
+    up = run_scenario(up_s)
+    failures = []
+    slack = _MONOTONE_REL_TOL * max(abs(base.makespan), 1.0)
+    if up.makespan > base.makespan + slack:
+        failures.append(
+            f"makespan grew {base.makespan!r} -> {up.makespan!r} "
+            f"after upgrading node 0 atom -> xeon"
+        )
+    want_base = oracle_expectation(base_s)
+    want_up = oracle_expectation(up_s)
+    if want_base is not None and want_up is not None:
+        tol = _MONOTONE_REL_TOL * max(abs(base.edp), abs(up.edp), 1.0)
+
+        def sign(delta: float) -> int:
+            return 0 if abs(delta) <= tol else (1 if delta > 0 else -1)
+
+        got = sign(up.edp - base.edp)
+        want = sign(want_up.edp - want_base.edp)
+        if got != want:
+            failures.append(
+                f"EDP moved {'up' if got > 0 else 'down' if got < 0 else 'flat'} "
+                f"({base.edp!r} -> {up.edp!r}) but the oracle says "
+                f"{'up' if want > 0 else 'down' if want < 0 else 'flat'} "
+                f"({want_base.edp!r} -> {want_up.edp!r})"
+            )
+    return _result(name, failures)
+
+
+def _rel_skew_zero_uniform(scenario: Scenario) -> RelationResult:
+    name = "skew-zero-uniform"
+    sizes = tuple(j.data_bytes for j in scenario.jobs)
+    failures = []
+    rebuilt_sizes = skew_data_bytes(sizes, skew=0.0)
+    if rebuilt_sizes != sizes:
+        failures.append(
+            f"skew=0 re-apportionment changed bytes {sizes!r} -> {rebuilt_sizes!r}"
+        )
+    rebuilt = scenario.with_jobs(
+        replace(job, data_bytes=s) for job, s in zip(scenario.jobs, rebuilt_sizes)
+    )
+    if rebuilt != scenario:
+        failures.append("scenario not equal after skew=0 round-trip")
+    base = run_scenario(scenario)
+    other = run_scenario(rebuilt)
+    if other.makespan != base.makespan:
+        failures.append(
+            f"makespan {base.makespan!r} != {other.makespan!r} after skew=0 round-trip"
+        )
+    if other.total_energy != base.total_energy:
+        failures.append(
+            f"total_energy {base.total_energy!r} != {other.total_energy!r}"
+        )
+    if other.rows != base.rows:
+        failures.append("completion rows differ after skew=0 round-trip")
+    # The skewed counterpoint: redistribution conserves the grand total.
+    skewed = skew_data_bytes(sizes, skew=1.2, seed=11)
+    if sum(skewed) != sum(sizes):
+        failures.append(
+            f"skew=1.2 lost bytes: {sum(sizes)} -> {sum(skewed)}"
+        )
+    return _result(name, failures)
+
+
 #: The registry: relation name -> check callable.
 RELATIONS: Mapping[str, Callable[[Scenario], RelationResult]] = {
     "permute-job-ids": _rel_permute_job_ids,
@@ -262,6 +406,9 @@ RELATIONS: Mapping[str, Callable[[Scenario], RelationResult]] = {
     "halve-block-size": _rel_halve_block_size,
     "double-frequency-pipeline": _rel_double_frequency_pipeline,
     "recorder-equivalence": _rel_recorder_equivalence,
+    "swap-equal-classes": _rel_swap_equal_classes,
+    "upgrade-node-class": _rel_upgrade_node_class,
+    "skew-zero-uniform": _rel_skew_zero_uniform,
 }
 
 

@@ -20,6 +20,8 @@ from typing import Iterable, Sequence
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, InjectionPlan
+from repro.hardware.classes import NODE_CLASSES, roster_from_classes
+from repro.hardware.node import NodeSpec
 from repro.mapreduce.engine import ClusterEngine
 from repro.mapreduce.job import JobSpec
 from repro.model.config import JobConfig
@@ -97,23 +99,58 @@ class ScenarioJob:
 
 @dataclass(frozen=True)
 class Scenario:
-    """A complete, reproducible engine run description."""
+    """A complete, reproducible engine run description.
+
+    ``node_classes`` — empty by default — names each node's hardware
+    class (see :data:`repro.hardware.classes.NODE_CLASSES`) in
+    placement order.  An empty tuple means "homogeneous default
+    hardware", which is byte-identical to the pre-heterogeneity
+    scenario format: every serialised scenario from before this field
+    existed still round-trips exactly, and :meth:`to_source` only
+    emits the field when it is set.
+    """
 
     n_nodes: int
     jobs: tuple[ScenarioJob, ...]
     fault_events: tuple[FaultEvent, ...] = ()
     recorder: str = "full"
+    node_classes: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
-            raise ValueError("n_nodes must be >= 1")
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
         if not self.jobs:
             raise ValueError("a scenario needs at least one job")
+        if self.node_classes:
+            object.__setattr__(self, "node_classes", tuple(self.node_classes))
+            if len(self.node_classes) != self.n_nodes:
+                raise ValueError(
+                    f"node_classes names {len(self.node_classes)} node(s) "
+                    f"but n_nodes={self.n_nodes}"
+                )
+            for name in self.node_classes:
+                if name not in NODE_CLASSES:
+                    raise ValueError(
+                        f"unknown node class {name!r}; valid: "
+                        f"{', '.join(sorted(NODE_CLASSES))}"
+                    )
         for ev in self.fault_events:
             if ev.node_id >= self.n_nodes:
                 raise ValueError(
                     f"fault event targets node {ev.node_id} of {self.n_nodes}"
                 )
+
+    # ---------------------------------------------------------- hardware
+    def roster(self) -> tuple[NodeSpec, ...] | None:
+        """Per-node specs, or ``None`` for default homogeneous hardware."""
+        if not self.node_classes:
+            return None
+        return roster_from_classes(self.node_classes)
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when the named classes actually mix hardware."""
+        return len(set(self.node_classes)) > 1
 
     # ---------------------------------------------------------- engine I/O
     def specs(
@@ -160,10 +197,26 @@ class Scenario:
 
     def with_nodes(self, n_nodes: int) -> "Scenario":
         events = tuple(e for e in self.fault_events if e.node_id < n_nodes)
-        return replace(self, n_nodes=n_nodes, fault_events=events)
+        classes = self.node_classes[:n_nodes] if self.node_classes else ()
+        if classes and len(classes) < n_nodes:
+            # Growing an annotated cluster: new nodes repeat the last
+            # named class so the roster stays fully specified.
+            classes += (self.node_classes[-1],) * (n_nodes - len(classes))
+        return replace(
+            self, n_nodes=n_nodes, fault_events=events, node_classes=classes
+        )
 
     def without_faults(self) -> "Scenario":
         return replace(self, fault_events=())
+
+    def homogenised(self) -> "Scenario":
+        """This scenario on default homogeneous hardware.
+
+        The shrinker's heterogeneity-collapse step: if a failure still
+        reproduces without the mixed roster, the roster was irrelevant
+        and the minimised repro should not carry it.
+        """
+        return replace(self, node_classes=())
 
     # ------------------------------------------------------- serialisation
     def to_source(self, *, indent: str = "    ") -> str:
@@ -188,6 +241,10 @@ class Scenario:
             lines.append(f"{indent}),")
         if self.recorder != "full":
             lines.append(f"{indent}recorder={self.recorder!r},")
+        if self.node_classes:
+            rendered = ", ".join(repr(c) for c in self.node_classes)
+            trailing = "," if len(self.node_classes) == 1 else ""
+            lines.append(f"{indent}node_classes=({rendered}{trailing}),")
         lines.append(")")
         return "\n".join(lines)
 
@@ -223,7 +280,11 @@ def run_scenario(
     the uninstrumented run.  ``job_ids`` relabels the jobs without
     changing submission order (see :meth:`Scenario.specs`).
     """
-    cluster = ClusterEngine(scenario.n_nodes, recorder=scenario.recorder)
+    cluster = ClusterEngine(
+        scenario.n_nodes,
+        recorder=scenario.recorder,
+        roster=scenario.roster(),
+    )
     for spec in scenario.specs(job_ids=job_ids):
         cluster.submit(spec)
     if install_injector is None:
@@ -334,6 +395,71 @@ def oracle_matrix(codes: Sequence[str] = ALL_APPS) -> list[Scenario]:
         assert solo is not None
         second = _job(partner, 1 * GB, _MATRIX_CONFIGS[2], t=solo.makespan + 30.0)
         scenarios.append(Scenario(1, (first, second)))
+    return scenarios
+
+
+#: The two-class roster shapes of the heterogeneous oracle matrix.
+_HETERO_ROSTERS: tuple[tuple[str, ...], ...] = (
+    ("atom", "xeon"),
+    ("xeon", "atom"),
+    ("xeon", "xeon"),
+)
+
+
+def hetero_matrix(codes: Sequence[str] = ALL_APPS) -> list[Scenario]:
+    """The heterogeneous oracle matrix: ≥100 solvable two-class scenarios.
+
+    Per application and per roster shape (atom+xeon, xeon+atom, and the
+    non-default homogeneous xeon+xeon control): a single job landing on
+    node 0, a co-located fluid-share pair on node 0, and — on the mixed
+    rosters — an over-committed simultaneous pair whose second job
+    spills onto node 1's hardware.  Every scenario is analytically
+    solvable by :mod:`repro.conformance.oracles` with the roster's own
+    specs, so the acceptance gate can demand zero dispatcher fallbacks.
+    """
+    scenarios: list[Scenario] = []
+    codes = tuple(codes)
+    for i, code in enumerate(codes):
+        partner = codes[(i + 1) % len(codes)]
+        for roster in _HETERO_ROSTERS:
+            # Single job on node 0 (its hardware class varies by roster).
+            for knobs in (_MATRIX_CONFIGS[0], _MATRIX_CONFIGS[2]):
+                scenarios.append(
+                    Scenario(2, (_job(code, 1 * GB, knobs),),
+                             node_classes=roster)
+                )
+            # Fluid-share pair co-located on node 0.
+            scenarios.append(
+                Scenario(
+                    2,
+                    (
+                        _job(code, 2 * GB, _MATRIX_CONFIGS[1]),
+                        _job(partner, 1 * GB, _MATRIX_CONFIGS[0]),
+                    ),
+                    node_classes=roster,
+                )
+            )
+        # Over-committed simultaneous pair: job 1 cannot co-fit next to
+        # job 0 on node 0 (atom, 8 cores), so first-fit spills it onto
+        # node 1 — the one case where node 1's class shows up in the
+        # physics rather than only in the idle-power term.
+        big = (2.0 * GHZ, 256 * MB, 5)
+        scenarios.append(
+            Scenario(
+                2,
+                (_job(code, 1 * GB, big), _job(partner, 1 * GB, big)),
+                node_classes=("atom", "xeon"),
+            )
+        )
+        # Deferred single arrival on a mixed roster: idle lead-in energy
+        # now sums two different idle powers.
+        scenarios.append(
+            Scenario(
+                2,
+                (_job(code, 1 * GB, _MATRIX_CONFIGS[0], t=90.0),),
+                node_classes=("xeon", "atom"),
+            )
+        )
     return scenarios
 
 

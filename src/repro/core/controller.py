@@ -32,6 +32,7 @@ from repro.mapreduce.engine import ClusterEngine, NodeEngine
 from repro.mapreduce.job import JobResult, JobSpec
 from repro.model.calibration import DEFAULT_CONSTANTS, SimConstants
 from repro.model.config import JobConfig
+from repro.model.costmodel import standalone_metrics_scalar
 from repro.telemetry.profiling import profile_features
 from repro.telemetry.tracing import NULL_TRACER
 from repro.utils.rng import SeedLike
@@ -70,6 +71,9 @@ class ECoSTController:
         self.queue = WaitQueue()
         self._arrivals: list[_Arrival] = []
         self._features_memo: dict[AppInstance, dict[str, float]] = {}
+        #: Memoized per-(node spec, application) solo-EDP scores used to
+        #: rank empty nodes on heterogeneous rosters.
+        self._class_edp_memo: dict[tuple[int, AppInstance], float] = {}
         self.decisions: list[str] = []  # human-readable scheduling log
         #: Nodes the fault layer reported as flapping — never scheduled.
         self.blacklisted: set[int] = set()
@@ -216,6 +220,50 @@ class ECoSTController:
             self.tracer.instant("relearn", "controller", t, args=args)
 
     # --------------------------------------------------------- scheduling
+    def _class_edp(self, spec: NodeSpec, qa: QueuedApp) -> float:
+        """Predicted solo EDP of ``qa`` at its tuned config on ``spec``.
+
+        The placement score for heterogeneous rosters: empty nodes are
+        filled in ascending order of the queue head's EDP on each
+        node's class, so an energy-hungry Xeon only takes work its
+        speed actually pays for.  Memoized per (spec, application) —
+        the same handful of applications recur all run.
+        """
+        key = (id(spec), qa.instance)
+        hit = self._class_edp_memo.get(key)
+        if hit is None:
+            d = self._descriptor(qa)
+            cfg, _ = self.stp.predict_configs(d, d)
+            cfg = self._cap_mappers(cfg, spec.n_cores - 1)
+            hit = standalone_metrics_scalar(
+                qa.instance.profile,
+                qa.instance.data_bytes,
+                cfg.frequency,
+                cfg.block_size,
+                cfg.n_mappers,
+                node=spec,
+                constants=self.constants,
+            ).edp
+            self._class_edp_memo[key] = hit
+        return hit
+
+    def _empty_node_order(self, cluster: ClusterEngine) -> list[NodeEngine]:
+        """Node visit order for the empty-node pairing loop.
+
+        Homogeneous clusters keep the id-order list unchanged (the
+        byte-identical legacy path).  Heterogeneous clusters rank nodes
+        by the queue head's per-class EDP, ties broken by node id.
+        """
+        if not getattr(cluster, "heterogeneous", False):
+            return cluster.nodes
+        head = self.queue.head
+        if head is None:
+            return cluster.nodes
+        return sorted(
+            cluster.nodes,
+            key=lambda e: (self._class_edp(e.node, head), e.node_id),
+        )
+
     def _cap_mappers(self, cfg: JobConfig, free: int) -> JobConfig:
         if cfg.n_mappers <= free:
             return cfg
@@ -339,7 +387,7 @@ class ECoSTController:
                             t, run_desc, run_spec, partner_desc, new_spec
                         )
                     progress = True
-            for engine in cluster.nodes:
+            for engine in self._empty_node_order(cluster):
                 if len(self.queue) == 0:
                     return
                 if not self._schedulable(engine):
@@ -370,7 +418,10 @@ class ECoSTController:
                         cfg_a, cfg_b = self.stp.predict_configs(
                             head_desc, partner_desc
                         )
-                        cfg_a = self._cap_mappers(cfg_a, self.node.n_cores - 1)
+                        # Cap against the *engine's* spec: on a mixed
+                        # roster an empty Xeon offers more headroom than
+                        # the controller's representative node.
+                        cfg_a = self._cap_mappers(cfg_a, engine.node.n_cores - 1)
                         head_spec = self._place(head, cfg_a, engine.node_id, t)
                         cfg_b = self._cap_mappers(cfg_b, engine.free_cores)
                         partner_spec = self._place(

@@ -21,6 +21,17 @@ from repro.hardware.disk import DiskModel
 from repro.hardware.power import PowerModel, PowerBreakdown
 from repro.hardware.node import NodeSpec, ATOM_C2758
 from repro.hardware.cluster import ClusterSpec
+from repro.hardware.classes import (
+    ATOM,
+    NODE_CLASSES,
+    NodeClass,
+    XEON,
+    XEON_DVFS_LEVELS,
+    XEON_E5,
+    class_name_of,
+    get_node_class,
+    roster_from_classes,
+)
 
 __all__ = [
     "DVFS_LEVELS",
@@ -38,4 +49,13 @@ __all__ = [
     "NodeSpec",
     "ATOM_C2758",
     "ClusterSpec",
+    "NodeClass",
+    "NODE_CLASSES",
+    "ATOM",
+    "XEON",
+    "XEON_E5",
+    "XEON_DVFS_LEVELS",
+    "class_name_of",
+    "get_node_class",
+    "roster_from_classes",
 ]

@@ -1,9 +1,15 @@
-"""Cluster specification: N homogeneous nodes.
+"""Cluster specification: N homogeneous nodes, or a mixed roster.
 
 The paper evaluates scalability on 1-, 2-, 4- and 8-node clusters of
 identical Atom microservers (§8).  Data is distributed per node (a
 "10 GB" run means 10 GB of input *per node*, §2.3), so cluster-level
 execution parallelises a job across nodes with per-node input shares.
+
+Heterogeneous fleets (arXiv:1408.2284) are described by an explicit
+``roster`` — one :class:`~repro.hardware.node.NodeSpec` per node, in
+placement order.  Every consumer that assumed "one node type" reads
+:meth:`ClusterSpec.node_specs` instead; the homogeneous constructor
+path is unchanged and remains the default.
 """
 
 from __future__ import annotations
@@ -15,31 +21,82 @@ from repro.hardware.node import ATOM_C2758, NodeSpec
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """A homogeneous cluster of microserver nodes."""
+    """A cluster of microserver nodes.
+
+    Homogeneous by default (``n_nodes`` copies of ``node``); passing a
+    ``roster`` pins each node's spec individually.  When a roster is
+    given it is authoritative: ``n_nodes`` must match its length (or be
+    left at the value it implies) and ``node`` becomes the roster's
+    first entry for consumers that only need *a* representative spec.
+    """
 
     n_nodes: int = 8
     node: NodeSpec = field(default_factory=lambda: ATOM_C2758)
+    roster: tuple[NodeSpec, ...] | None = None
 
     def __post_init__(self) -> None:
+        if self.roster is not None:
+            roster = tuple(self.roster)
+            if not roster:
+                raise ValueError("roster must contain at least one node")
+            object.__setattr__(self, "roster", roster)
+            # A defaulted n_nodes follows the roster; an explicit one
+            # must agree with it.
+            if self.n_nodes != len(roster):
+                if self.n_nodes == 8 and len(roster) != 8:
+                    object.__setattr__(self, "n_nodes", len(roster))
+                else:
+                    raise ValueError(
+                        f"n_nodes={self.n_nodes} disagrees with roster "
+                        f"of {len(roster)} node(s)"
+                    )
+            object.__setattr__(self, "node", roster[0])
         if self.n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
 
     @property
+    def node_specs(self) -> tuple[NodeSpec, ...]:
+        """Per-node specs in placement order (length ``n_nodes``)."""
+        if self.roster is not None:
+            return self.roster
+        return (self.node,) * self.n_nodes
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when the roster mixes more than one node spec."""
+        if self.roster is None:
+            return False
+        first = self.roster[0]
+        return any(spec is not first and spec != first for spec in self.roster[1:])
+
+    @property
     def total_cores(self) -> int:
+        if self.roster is not None:
+            return sum(spec.n_cores for spec in self.roster)
         return self.n_nodes * self.node.n_cores
 
     def subcluster(self, n_nodes: int) -> "ClusterSpec":
-        """A cluster of the same node type with ``n_nodes`` nodes."""
+        """The first ``n_nodes`` nodes of this cluster."""
+        if self.roster is not None:
+            if not 1 <= n_nodes <= len(self.roster):
+                raise ValueError(
+                    f"n_nodes must be in [1, {len(self.roster)}], got {n_nodes}"
+                )
+            return ClusterSpec(n_nodes=n_nodes, roster=self.roster[:n_nodes])
         return ClusterSpec(n_nodes=n_nodes, node=self.node)
 
     def degraded(self, n_failed: int) -> "ClusterSpec":
         """Capacity view after ``n_failed`` nodes are lost.
 
         At least one node must survive — the fault layer never crashes
-        the last alive node, and neither does this helper.
+        the last alive node, and neither does this helper.  On a mixed
+        roster the *last* nodes are dropped (placement order is the
+        survival order).
         """
         if not 0 <= n_failed < self.n_nodes:
             raise ValueError(
                 f"n_failed must be in [0, {self.n_nodes - 1}], got {n_failed}"
             )
+        if self.roster is not None:
+            return ClusterSpec(roster=self.roster[: self.n_nodes - n_failed])
         return ClusterSpec(n_nodes=self.n_nodes - n_failed, node=self.node)

@@ -574,9 +574,16 @@ class NodeEngine:
         cache: RecontextCache | None = None,
         recorder: str = "full",
         tracer=NULL_TRACER,
+        class_tag: int = 0,
     ) -> None:
         self.node = node
         self.node_id = node_id
+        #: Integer node-class tag mixed into recontext cache keys when a
+        #: shared cache serves engines with *different* node specs (the
+        #: kernel output depends on the spec, so a xeon engine must not
+        #: reuse an atom engine's entry).  Tag 0 — every homogeneous
+        #: cluster — keeps today's untagged key shape exactly.
+        self.class_tag = class_tag
         self.constants = constants
         self.tracer = tracer
         if tracer.enabled:
@@ -727,8 +734,9 @@ class NodeEngine:
             return
         cache = self.cache
         telemetry = self.telemetry
+        tag = self.class_tag
         ids = tuple(_running_key(r) for r in running)
-        set_key = ("set",) + ids
+        set_key = ("set",) + ids if tag == 0 else ("set", tag) + ids
         metrics = cache.get(set_key)
         if metrics is not None:
             telemetry.record_recontext(hit=True, jobs=len(running))
@@ -741,7 +749,9 @@ class NodeEngine:
             )
             out = []
             for r, identity, c in zip(running, ids, ctx):
-                job_key = ("job", identity, c)
+                job_key = (
+                    ("job", identity, c) if tag == 0 else ("job", tag, identity, c)
+                )
                 m = cache.get(job_key)
                 if m is not None:
                     telemetry.record_recontext(hit=True)
@@ -1082,9 +1092,34 @@ class ClusterEngine:
         recorder: str = "full",
         metrics_cache: RecontextCache | None = None,
         tracer=NULL_TRACER,
+        roster: tuple[NodeSpec, ...] | None = None,
     ) -> None:
+        if roster is not None:
+            roster = tuple(roster)
+            if not roster:
+                raise ValueError("roster must contain at least one node")
+            n_nodes = len(roster)
+            node = roster[0]
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
+        specs = roster if roster is not None else (node,) * n_nodes
+        #: Per-node specs in placement order (homogeneous or mixed).
+        self.roster: tuple[NodeSpec, ...] = specs
+        # Class tags: index of each node's spec in first-seen dedup
+        # order.  A homogeneous roster tags every node 0, which keeps
+        # recontext cache keys in today's untagged shape.
+        unique: list[NodeSpec] = []
+        tags: list[int] = []
+        for spec in specs:
+            for k, seen in enumerate(unique):
+                if spec is seen or spec == seen:
+                    tags.append(k)
+                    break
+            else:
+                tags.append(len(unique))
+                unique.append(spec)
+        self.node_class_tags: tuple[int, ...] = tuple(tags)
+        self.heterogeneous: bool = len(unique) > 1
         self.metrics_cache = (
             metrics_cache if metrics_cache is not None else RecontextCache()
         )
@@ -1094,12 +1129,13 @@ class ClusterEngine:
             tracer.name_process(0, "cluster")
         self.nodes = [
             NodeEngine(
-                node,
+                specs[i],
                 node_id=i,
                 constants=constants,
                 cache=self.metrics_cache,
                 recorder=recorder,
                 tracer=tracer,
+                class_tag=tags[i],
             )
             for i in range(n_nodes)
         ]
@@ -1111,7 +1147,10 @@ class ClusterEngine:
         self._clock = 0.0
         self._group_sizes: dict[int, int] = {}
         self._group_done: dict[int, int] = {}
-        self._free_index = FreeCoreIndex([n.free_cores for n in self.nodes])
+        self._free_index = FreeCoreIndex(
+            [n.free_cores for n in self.nodes],
+            classes=self.node_class_tags if self.heterogeneous else None,
+        )
         for nd in self.nodes:
             nd.capacity_listener = self._on_capacity_change
 
@@ -1157,14 +1196,18 @@ class ClusterEngine:
     def _on_capacity_change(self, engine: NodeEngine) -> None:
         self._free_index.set(engine.node_id, engine.free_cores)
 
-    def first_fit_node(self, n_mappers: int) -> int | None:
+    def first_fit_node(
+        self, n_mappers: int, *, node_class: int | None = None
+    ) -> int | None:
         """Lowest node id with ≥ ``n_mappers`` free cores (None if none).
 
         O(log n) via the free-core segment tree — the same node the
         first-fit linear scan would pick (dead nodes report zero free
-        cores and are skipped naturally).
+        cores and are skipped naturally).  ``node_class`` restricts the
+        search to nodes with that class tag (heterogeneous rosters
+        maintain one per-class segment per tag).
         """
-        return self._free_index.first_at_least(n_mappers)
+        return self._free_index.first_at_least(n_mappers, node_class=node_class)
 
     def place(self, spec: JobSpec, node_id: int) -> None:
         """Start a pending job on a node (scheduler API)."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, MutableSequence, Sequence
+from typing import Callable, Iterator, Mapping, MutableSequence, Sequence
 
 from repro.hdfs.blocks import Block
 from repro.hdfs.filesystem import MiniHdfs
@@ -221,11 +221,22 @@ class LocalityScheduler:
     task when one exists; otherwise it waits (skips its turn) up to
     ``max_skips`` times before taking a remote task — the standard
     delay-scheduling trade between locality and utilisation.
+
+    On a heterogeneous cluster the remote fallback is class-ranked:
+    ``worker_classes`` tags each worker with its node-class index and
+    ``class_extra_skips`` charges slower classes extra skip rounds
+    before they may steal remote work, so a remote candidate drifts
+    toward the faster class whenever both are idle.  Local assignments
+    are never delayed — shipping a local task elsewhere always costs
+    more than running it in place.  Both knobs default to off, in
+    which case scheduling is byte-identical to the homogeneous path.
     """
 
     hdfs: MiniHdfs
     n_workers: int
     max_skips: int = 2
+    worker_classes: Sequence[int] | None = None
+    class_extra_skips: Mapping[int, int] | None = None
     _skips: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -233,6 +244,33 @@ class LocalityScheduler:
             raise ValueError("n_workers must be >= 1")
         if self.max_skips < 0:
             raise ValueError("max_skips must be >= 0")
+        if self.worker_classes is not None:
+            if len(self.worker_classes) != self.n_workers:
+                raise ValueError(
+                    "worker_classes must tag every worker: got "
+                    f"{len(self.worker_classes)} tags for {self.n_workers} workers"
+                )
+        if self.class_extra_skips is not None:
+            if self.worker_classes is None:
+                raise ValueError(
+                    "class_extra_skips requires worker_classes"
+                )
+            if any(v < 0 for v in self.class_extra_skips.values()):
+                raise ValueError("class_extra_skips values must be >= 0")
+
+    def _max_skips_for(self, worker: int) -> int:
+        """Remote-work patience for ``worker`` (class-adjusted)."""
+        if self.worker_classes is None or self.class_extra_skips is None:
+            return self.max_skips
+        tag = self.worker_classes[worker]
+        return self.max_skips + self.class_extra_skips.get(tag, 0)
+
+    @property
+    def max_patience(self) -> int:
+        """The largest skip budget any worker can hold (starvation bound)."""
+        if self.worker_classes is None or self.class_extra_skips is None:
+            return self.max_skips
+        return self.max_skips + max(self.class_extra_skips.values(), default=0)
 
     def assign(
         self, pending: MutableSequence[Block], worker: int
@@ -260,7 +298,7 @@ class LocalityScheduler:
                 self._skips[worker] = 0
                 return block, True
             skips = self._skips.get(worker, 0)
-            if skips < self.max_skips:
+            if skips < self._max_skips_for(worker):
                 self._skips[worker] = skips + 1
                 return None
             self._skips[worker] = 0
@@ -273,7 +311,7 @@ class LocalityScheduler:
                 del pending[i]
                 return block, True
         skips = self._skips.get(worker, 0)
-        if skips < self.max_skips:
+        if skips < self._max_skips_for(worker):
             self._skips[worker] = skips + 1
             return None
         self._skips[worker] = 0
@@ -418,7 +456,7 @@ class TaskJobRunner:
                 idle_rounds = 0
             else:
                 idle_rounds += 1
-                if idle_rounds > self.n_workers * (self.scheduler.max_skips + 1):
+                if idle_rounds > self.n_workers * (self.scheduler.max_patience + 1):
                     raise RuntimeError("scheduler starved with pending tasks")
             worker = (worker + 1) % self.n_workers
 

@@ -177,8 +177,17 @@ def seeded_requests(
     Jobs come from :func:`poisson_job_stream` (the canonical seeded
     generator); tenant assignment is drawn from an *independent* rng
     stream (:func:`~repro.utils.rng.derive_rng`), so the job sequence —
-    and therefore the offline comparison run — is byte-for-byte the
-    one the plain stream with the same seed produces.
+    and therefore the offline comparison run — is byte-for-byte the one
+    ``poisson_job_stream`` produces *for the same keyword arguments*:
+    this function defaults to ``tuned=True`` and ``job_ids_from=1``
+    where the plain stream defaults to ``tuned=False`` and per-process
+    counter ids, so the matching offline call is
+    ``poisson_job_stream(n, seed=seed, tuned=tuned,
+    mean_interarrival_s=mean_interarrival_s,
+    job_ids_from=job_ids_from)``.  Pinned ``job_ids_from`` also makes
+    the ids — and every label derived from them — identical across
+    ``REPRO_WORKERS`` pool workers and evaluation backends (the
+    per-process default counter is neither).
     """
     if not tenants:
         raise ValueError("at least one tenant is required")

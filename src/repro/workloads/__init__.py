@@ -31,6 +31,12 @@ from repro.workloads.registry import (
     get_app,
     instances_for,
 )
+from repro.workloads.skew import (
+    MIN_SPLIT_FRACTION,
+    skew_data_bytes,
+    skewed_split_sizes,
+    zipf_split_weights,
+)
 
 __all__ = [
     "AppClass",
@@ -44,4 +50,8 @@ __all__ = [
     "get_app",
     "all_instances",
     "instances_for",
+    "MIN_SPLIT_FRACTION",
+    "skew_data_bytes",
+    "skewed_split_sizes",
+    "zipf_split_weights",
 ]

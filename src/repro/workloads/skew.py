@@ -1,0 +1,119 @@
+"""Deterministic data-skew: seeded Zipf split sizes.
+
+Real MapReduce inputs are rarely uniform — a handful of splits carry a
+disproportionate share of the bytes (hot keys, unsplittable files), so
+some tasks straggle *organically*, without any machine being slow.
+This module provides that knob as pure, seeded arithmetic:
+
+* :func:`zipf_split_weights` — normalised Zipf(``skew``) weights over
+  ``n_splits`` slots, assigned to slot positions by a seeded shuffle so
+  the heavy split lands at a seed-dependent index.
+* :func:`skewed_split_sizes` — integer byte sizes summing *exactly* to
+  the requested total (largest-remainder apportionment, floor-bounded).
+* :func:`skew_data_bytes` — redistribute an existing per-job byte
+  vector under the same law, preserving the grand total.
+
+``skew = 0`` is the identity by construction: weights are exactly
+uniform, no RNG state is consumed, and :func:`skew_data_bytes` returns
+its input byte-for-byte — the conformance relation
+"skew=0 ≡ uniform" pins this.  Skewed inputs produce stragglers that
+are *workload-shaped*, which keeps them distinct from the machine-side
+slowdowns :mod:`repro.faults` injects: a faulted node runs everything
+slowly, a skewed workload runs one split long on a healthy node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_rng, SeedLike
+
+#: No split is apportioned below this share of a uniform split — the
+#: cost kernel needs strictly positive bytes and degenerate slivers
+#: teach nothing about stragglers.
+MIN_SPLIT_FRACTION = 0.05
+
+
+def zipf_split_weights(
+    n_splits: int, *, skew: float, seed: SeedLike = 0
+) -> np.ndarray:
+    """Normalised split weights under a Zipf(``skew``) law.
+
+    Returns an array of ``n_splits`` positive floats summing to 1.
+    ``skew = 0`` yields the exact uniform vector without touching the
+    RNG; for ``skew > 0`` the rank weights ``rank**-skew`` are
+    assigned to positions by a ``derive_rng(seed, "skew")``-seeded
+    permutation, so which split is heavy depends only on the seed.
+    """
+    if n_splits < 1:
+        raise ValueError("n_splits must be >= 1")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    if skew == 0:
+        return np.full(n_splits, 1.0 / n_splits)
+    ranks = np.arange(1, n_splits + 1, dtype=float)
+    weights = ranks**-skew
+    weights /= weights.sum()
+    rng = derive_rng(seed, "skew", n_splits)
+    return weights[rng.permutation(n_splits)]
+
+
+def skewed_split_sizes(
+    total_bytes: int,
+    n_splits: int,
+    *,
+    skew: float = 0.0,
+    seed: SeedLike = 0,
+) -> tuple[int, ...]:
+    """Integer split sizes summing exactly to ``total_bytes``.
+
+    Weights come from :func:`zipf_split_weights`, floored at
+    :data:`MIN_SPLIT_FRACTION` of a uniform split (then renormalised)
+    so no split degenerates, and apportioned to integers by the
+    largest-remainder method with index-ordered ties — fully
+    deterministic in ``(total_bytes, n_splits, skew, seed)``.
+    """
+    if total_bytes < n_splits:
+        raise ValueError(
+            f"cannot split {total_bytes} byte(s) into {n_splits} positive splits"
+        )
+    weights = zipf_split_weights(n_splits, skew=skew, seed=seed)
+    floor = MIN_SPLIT_FRACTION / n_splits
+    weights = np.maximum(weights, floor)
+    weights /= weights.sum()
+    shares = weights * float(total_bytes)
+    sizes = np.floor(shares).astype(np.int64)
+    # Largest-remainder: hand the leftover bytes to the largest
+    # fractional parts; ties break toward the lower index (argsort is
+    # stable on the negated remainders).
+    leftover = int(total_bytes - int(sizes.sum()))
+    if leftover:
+        order = np.argsort(-(shares - sizes), kind="stable")
+        sizes[order[:leftover]] += 1
+    # The floor keeps every weight ≥ floor/2 of a uniform share, so a
+    # zero-byte split would need total_bytes < n_splits — rejected above.
+    assert int(sizes.min()) >= 1
+    return tuple(int(s) for s in sizes)
+
+
+def skew_data_bytes(
+    sizes: "list[int] | tuple[int, ...]",
+    *,
+    skew: float = 0.0,
+    seed: SeedLike = 0,
+) -> tuple[int, ...]:
+    """Redistribute a per-job byte vector under the Zipf(``skew``) law.
+
+    The grand total is preserved exactly; individual entries are
+    re-apportioned by :func:`skewed_split_sizes`.  ``skew = 0`` returns
+    the input unchanged (same integers, not a uniform re-split), which
+    is what makes the knob a strict superset of today's behaviour.
+    """
+    sizes = tuple(int(s) for s in sizes)
+    if not sizes:
+        return sizes
+    if any(s <= 0 for s in sizes):
+        raise ValueError("sizes must be positive")
+    if skew == 0:
+        return sizes
+    return skewed_split_sizes(sum(sizes), len(sizes), skew=skew, seed=seed)

@@ -63,13 +63,25 @@ def poisson_job_stream(
     configuration)`` identities recur for the whole stream.
 
     Deterministic for a given seed: every per-job attribute is drawn
-    from one stream in a fixed order, so the workload is reproducible
-    bit-for-bit.  By default job ids come from the process-global
-    counter (safe but different on every call); ``job_ids_from``
-    assigns sequential ids starting there instead, making labels — and
-    anything rendered from them, like a fault-recovery trace —
-    identical across runs.  The caller then owns id uniqueness within
-    one cluster.
+    from one stream in the fixed order (arrival gap, application, data
+    size, then — only when ``tuned=False`` — frequency, block size,
+    mappers), so the workload is reproducible bit-for-bit.  Because
+    ``tuned=True`` skips the three knob draws, tuned and untuned
+    streams at the same seed share only the *first* arrival and
+    diverge from the second job on — they are different workloads, not
+    the same jobs with different knobs.
+
+    Job ids need care.  By default they come from a *per-process*
+    ``itertools`` counter: unique within one process and different on
+    every call, but **not** stable across runs, and under a
+    ``REPRO_WORKERS`` pool each worker process restarts the counter at
+    1, so defaulted ids from different workers collide.  Anything that
+    compares job identities across processes or evaluation backends —
+    benchmarks, golden traces, the service's offline-comparison runs —
+    must pass ``job_ids_from``, which assigns sequential ids starting
+    there (job ``i`` gets ``job_ids_from + i``) purely as a function
+    of the arguments: the same ids in every process, pool worker and
+    backend.  The caller then owns id uniqueness within one cluster.
     """
     if n_jobs < 0:
         raise ValueError("n_jobs must be >= 0")

@@ -96,3 +96,35 @@ def test_cluster_edp_positive(pipeline):
     ctrl.run()
     assert cluster.edp() > 0
     assert cluster.total_energy() > 0
+
+
+@pytest.mark.hetero
+def test_hetero_roster_ranks_empty_nodes_by_class_edp(pipeline):
+    from repro.hardware import roster_from_classes
+
+    stp, classifier = pipeline
+    cluster = ClusterEngine(roster=roster_from_classes(("xeon", "atom")))
+    ctrl = ECoSTController(cluster, stp, classifier)
+    ctrl.submit(AppInstance(get_app("wc"), 1 * GB))
+    order = ctrl._empty_node_order(cluster)
+    assert sorted(e.node_id for e in order) == [0, 1]
+    # On a homogeneous cluster the order is the untouched id-order list.
+    homo = ClusterEngine(n_nodes=2)
+    ctrl_homo = ECoSTController(homo, stp, classifier)
+    ctrl_homo.submit(AppInstance(get_app("wc"), 1 * GB))
+    assert ctrl_homo._empty_node_order(homo) is homo.nodes
+
+
+@pytest.mark.hetero
+def test_hetero_roster_runs_all_jobs_to_completion(pipeline):
+    from repro.hardware import roster_from_classes
+
+    stp, classifier = pipeline
+    cluster = ClusterEngine(roster=roster_from_classes(("atom", "xeon")))
+    ctrl = ECoSTController(cluster, stp, classifier)
+    for code in ("svm", "st", "wc", "nb"):
+        ctrl.submit(AppInstance(get_app(code), 1 * GB))
+    results = ctrl.run()
+    assert len(results) == 4
+    assert cluster.makespan > 0
+    assert not ctrl.queue

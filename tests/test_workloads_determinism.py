@@ -43,6 +43,19 @@ class TestRecordGenerationDeterminism:
             assert list(map(repr, first)) == list(map(repr, second))
 
 
+def _spec_key(spec):
+    """Everything observable about a spec, job id included."""
+    return (
+        spec.job_id,
+        spec.submit_time,
+        spec.instance.app.code,
+        spec.instance.data_bytes,
+        spec.config.frequency,
+        spec.config.block_size,
+        spec.config.n_mappers,
+    )
+
+
 class TestStreamDeterminism:
     def test_stream_attributes_repeatable(self):
         def draw():
@@ -68,3 +81,153 @@ class TestStreamDeterminism:
         a = [s.job_id for s in poisson_job_stream(5, seed=9)]
         b = [s.job_id for s in poisson_job_stream(5, seed=9)]
         assert set(a).isdisjoint(b)
+
+    def test_tuned_and_untuned_streams_are_different_workloads(self):
+        # tuned=True skips the three knob draws per job, so the two
+        # regimes share only the first arrival and then diverge — the
+        # docstring's "not the same jobs with different knobs".
+        tuned = list(poisson_job_stream(5, seed=9, tuned=True))
+        untuned = list(poisson_job_stream(5, seed=9, tuned=False))
+        assert tuned[0].submit_time == untuned[0].submit_time
+        assert [s.submit_time for s in tuned[1:]] != [
+            s.submit_time for s in untuned[1:]
+        ]
+
+
+class TestJobIdStability:
+    """The pinned job-id contract: ids from ``job_ids_from`` are a pure
+    function of the arguments — stable across processes (a fresh
+    ``REPRO_WORKERS`` pool worker restarts the default counter) and
+    across evaluation backends."""
+
+    def test_pinned_ids_are_sequential_from_start(self):
+        ids = [s.job_id for s in poisson_job_stream(8, seed=4, job_ids_from=10)]
+        assert ids == list(range(10, 18))
+
+    def test_pinned_ids_identical_in_a_fresh_process(self):
+        import json
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import json, sys\n"
+            "from repro.workloads.streams import poisson_job_stream\n"
+            "pinned = [s.job_id for s in"
+            " poisson_job_stream(6, seed=4, job_ids_from=1)]\n"
+            "default = [s.job_id for s in poisson_job_stream(6, seed=4)]\n"
+            "print(json.dumps({'pinned': pinned, 'default': default}))\n"
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        child = json.loads(out.stdout)
+        parent_pinned = [
+            s.job_id for s in poisson_job_stream(6, seed=4, job_ids_from=1)
+        ]
+        parent_default = [s.job_id for s in poisson_job_stream(6, seed=4)]
+        # Pinned ids agree across processes; the per-process default
+        # counter does not (this parent has already consumed ids).
+        assert child["pinned"] == parent_pinned == list(range(1, 7))
+        assert child["default"] != parent_default
+
+    def test_pinned_ids_unaffected_by_repro_workers(self, monkeypatch):
+        # The generator never consults the pool size: the id sequence
+        # is fixed before any worker fan-out happens.
+        baseline = [
+            _spec_key(s) for s in poisson_job_stream(6, seed=4, job_ids_from=1)
+        ]
+        for workers in ("1", "2", "8"):
+            monkeypatch.setenv("REPRO_WORKERS", workers)
+            again = [
+                _spec_key(s)
+                for s in poisson_job_stream(6, seed=4, job_ids_from=1)
+            ]
+            assert again == baseline
+
+
+class TestSeededRequestsMatchPlainStream:
+    """``seeded_requests`` ↔ ``poisson_job_stream`` byte-identity, under
+    the *matching* keyword arguments the fixed docstring spells out."""
+
+    def test_requests_rebuild_the_tuned_pinned_stream(self):
+        from repro.service.requests import requests_to_specs, seeded_requests
+
+        requests = seeded_requests(12, seed=3)
+        offline = [
+            _spec_key(s)
+            for s in poisson_job_stream(
+                12, seed=3, tuned=True, job_ids_from=1
+            )
+        ]
+        rebuilt = [_spec_key(s) for s in requests_to_specs(requests)]
+        assert rebuilt == offline
+
+    def test_requests_do_not_match_the_plain_defaults(self):
+        # The historical docstring claimed equality with "the plain
+        # stream with the same seed"; the defaults differ (tuned,
+        # pinned ids), so that read was wrong — pin the distinction.
+        from repro.service.requests import requests_to_specs, seeded_requests
+
+        rebuilt = [
+            _spec_key(s) for s in requests_to_specs(seeded_requests(6, seed=3))
+        ]
+        plain = [_spec_key(s) for s in poisson_job_stream(6, seed=3)]
+        assert rebuilt != plain
+
+    def test_tenant_draws_leave_job_sequence_alone(self):
+        from repro.service.requests import requests_to_specs, seeded_requests
+
+        few = seeded_requests(8, seed=3, tenants=("a",))
+        many = seeded_requests(8, seed=3, tenants=("a", "b", "c", "d"))
+        assert [r["job_id"] for r in few] == [r["job_id"] for r in many]
+        assert [_spec_key(s) for s in requests_to_specs(few)] == [
+            _spec_key(s) for s in requests_to_specs(many)
+        ]
+
+
+class TestCrossBackendSeedMatrix:
+    """One pinned seed-matrix test: the same seeded stream evaluated on
+    every backend yields the same jobs, ids and results."""
+
+    def test_stream_scenarios_agree_across_backends(self):
+        from repro.batch.engine import evaluate_scenarios
+        from repro.conformance.oracles import REL_TOL
+        from repro.conformance.scenarios import Scenario, ScenarioJob
+
+        for seed in (0, 3, 11):
+            specs = list(
+                poisson_job_stream(4, seed=seed, job_ids_from=1)
+            )
+            scenarios = [
+                Scenario(
+                    n_nodes=1,
+                    jobs=(
+                        ScenarioJob(
+                            code=s.instance.app.code,
+                            data_bytes=s.instance.data_bytes,
+                            frequency=s.config.frequency,
+                            block_size=s.config.block_size,
+                            n_mappers=s.config.n_mappers,
+                            submit_time=0.0,
+                        ),
+                    ),
+                )
+                for s in specs
+            ]
+            event = evaluate_scenarios(scenarios, backend="event")
+            scalar = evaluate_scenarios(scenarios, backend="scalar")
+            batch = evaluate_scenarios(scenarios, backend="batch")
+            assert not any(o.fallback for o in scalar)
+            assert not any(o.fallback for o in batch)
+            for e, s, b in zip(event, scalar, batch):
+                assert (s.makespan, s.total_energy) == (
+                    b.makespan, b.total_energy
+                )
+                scale = max(abs(e.makespan), 1.0)
+                assert abs(e.makespan - s.makespan) <= REL_TOL * scale
+                scale = max(abs(e.total_energy), 1.0)
+                assert abs(e.total_energy - s.total_energy) <= REL_TOL * scale

@@ -1,0 +1,104 @@
+"""Deterministic data-skew knob: seeded Zipf split sizes.
+
+Pins the module's three contracts: ``skew=0`` is the identity by
+construction (exact uniform weights, no RNG draw, byte-identical
+pass-through), skewed apportionment preserves grand totals exactly
+with every split floored above the degeneracy threshold, and the whole
+law is a pure function of ``(total, n, skew, seed)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.units import GB, MB
+from repro.workloads.skew import (
+    MIN_SPLIT_FRACTION,
+    skew_data_bytes,
+    skewed_split_sizes,
+    zipf_split_weights,
+)
+
+pytestmark = pytest.mark.hetero
+
+
+class TestZipfWeights:
+    def test_skew_zero_is_exactly_uniform(self):
+        w = zipf_split_weights(8, skew=0.0)
+        assert np.array_equal(w, np.full(8, 1.0 / 8))
+
+    def test_skew_zero_consumes_no_rng(self):
+        # Identical for every seed — no RNG state is touched.
+        assert np.array_equal(
+            zipf_split_weights(5, skew=0.0, seed=0),
+            zipf_split_weights(5, skew=0.0, seed=12345),
+        )
+
+    def test_weights_normalised_and_seed_deterministic(self):
+        a = zipf_split_weights(16, skew=1.2, seed=3)
+        b = zipf_split_weights(16, skew=1.2, seed=3)
+        assert np.array_equal(a, b)
+        assert a.sum() == pytest.approx(1.0)
+        assert (a > 0).all()
+
+    def test_seed_moves_the_heavy_split(self):
+        positions = {
+            int(np.argmax(zipf_split_weights(16, skew=2.0, seed=s)))
+            for s in range(12)
+        }
+        assert len(positions) > 1
+
+    def test_higher_skew_concentrates_mass(self):
+        mild = zipf_split_weights(16, skew=0.5, seed=0).max()
+        harsh = zipf_split_weights(16, skew=2.5, seed=0).max()
+        assert harsh > mild
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_splits"):
+            zipf_split_weights(0, skew=1.0)
+        with pytest.raises(ValueError, match="skew must be >= 0"):
+            zipf_split_weights(4, skew=-0.1)
+
+
+class TestSkewedSplitSizes:
+    def test_grand_total_preserved_exactly(self):
+        for skew in (0.0, 0.7, 1.2, 3.0):
+            sizes = skewed_split_sizes(5 * GB + 17, 13, skew=skew, seed=4)
+            assert len(sizes) == 13
+            assert sum(sizes) == 5 * GB + 17
+            assert min(sizes) >= 1
+
+    def test_floor_keeps_splits_non_degenerate(self):
+        sizes = skewed_split_sizes(1 * GB, 10, skew=6.0, seed=0)
+        uniform = 1 * GB / 10
+        # The floored-then-renormalised weight can land just under the
+        # nominal floor; it stays within a factor of two of it.
+        assert min(sizes) >= MIN_SPLIT_FRACTION * uniform / 2
+
+    def test_deterministic_in_all_arguments(self):
+        a = skewed_split_sizes(256 * MB, 7, skew=1.5, seed=9)
+        assert a == skewed_split_sizes(256 * MB, 7, skew=1.5, seed=9)
+        assert a != skewed_split_sizes(256 * MB, 7, skew=1.5, seed=10)
+
+    def test_too_few_bytes_rejected(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            skewed_split_sizes(3, 4)
+
+
+class TestSkewDataBytes:
+    def test_skew_zero_is_byte_identical_passthrough(self):
+        sizes = (1 * GB, 2 * GB, 3 * GB)
+        assert skew_data_bytes(sizes, skew=0.0) == sizes
+        assert skew_data_bytes(list(sizes), skew=0.0, seed=99) == sizes
+
+    def test_skewed_redistribution_preserves_total(self):
+        sizes = (1 * GB, 2 * GB, 3 * GB, 4 * GB)
+        out = skew_data_bytes(sizes, skew=1.2, seed=11)
+        assert sum(out) == sum(sizes)
+        assert out != sizes
+
+    def test_empty_and_invalid_inputs(self):
+        assert skew_data_bytes(()) == ()
+        with pytest.raises(ValueError, match="positive"):
+            skew_data_bytes((1 * GB, 0), skew=1.0)

@@ -145,6 +145,28 @@ def _op_steady_state_1k():
     return run
 
 
+def _op_hetero_steady_state_1k():
+    from repro.hardware import roster_from_classes
+    from repro.mapreduce.engine import ClusterEngine
+    from repro.workloads.streams import poisson_job_stream
+
+    # bench_steady_state_1k's stream on a mixed atom/xeon roster: the
+    # per-class free-core segments, class-tagged recontext cache keys
+    # and roster-aware energy accounting all sit on this hot path.
+    specs = list(poisson_job_stream(1000, tuned=True, job_ids_from=1))
+    roster = roster_from_classes(("atom", "xeon") * 4)
+
+    def run():
+        cluster = ClusterEngine(recorder="off", roster=roster)
+        for s in specs:
+            cluster.submit(s)
+        cluster.run()
+        assert len(cluster.results) == 1000
+        assert cluster.heterogeneous
+
+    return run
+
+
 def _op_faulty_steady_state():
     from repro.faults import FaultInjector, InjectionPlan
     from repro.mapreduce.engine import ClusterEngine
@@ -385,6 +407,7 @@ OPS: dict[str, tuple] = {
     "bench_pair_metrics_vectorised": (_op_pair_metrics_vectorised, True),
     "bench_des_cluster": (_op_des_cluster, True),
     "bench_steady_state_1k": (_op_steady_state_1k, True),
+    "bench_hetero_steady_state_1k": (_op_hetero_steady_state_1k, True),
     "bench_faulty_steady_state": (_op_faulty_steady_state, True),
     "bench_batch_sweep_4096": (_op_batch_sweep_4096, True),
     "bench_scalar_sweep_4096": (_op_scalar_sweep_4096, False),
